@@ -1,0 +1,146 @@
+//! Resource-commitment state encoding.
+
+use rmd_machine::{MachineDescription, ReservationTable};
+
+/// A resource-commitment matrix: bit `(cycle * num_resources + r)` is set
+/// iff resource `r` is committed `cycle` cycles from now. Fixed width
+/// `horizon × num_resources` bits, packed in `u64` blocks.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct StateKey {
+    pub bits: Vec<u64>,
+}
+
+/// Dimensions shared by all states of one automaton.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StateShape {
+    pub num_resources: usize,
+    pub horizon: usize,
+    pub blocks: usize,
+}
+
+impl StateShape {
+    pub fn for_machine(m: &MachineDescription) -> Self {
+        let num_resources = m.num_resources();
+        let horizon = m.max_table_length() as usize;
+        let bits = num_resources * horizon.max(1);
+        StateShape {
+            num_resources,
+            horizon: horizon.max(1),
+            blocks: bits.div_ceil(64),
+        }
+    }
+
+    pub fn empty(&self) -> StateKey {
+        StateKey {
+            bits: vec![0; self.blocks],
+        }
+    }
+
+    /// The bitmask of a reservation table (restricted to the resources in
+    /// `keep`, or all when `keep` is `None`).
+    pub fn table_mask(&self, table: &ReservationTable, keep: Option<&[bool]>) -> StateKey {
+        let mut k = self.empty();
+        for u in table.usages() {
+            if let Some(keep) = keep {
+                if !keep[u.resource.index()] {
+                    continue;
+                }
+            }
+            let bit = u.cycle as usize * self.num_resources + u.resource.index();
+            k.bits[bit / 64] |= 1 << (bit % 64);
+        }
+        k
+    }
+
+    /// Whether `state` and `mask` share a committed bit.
+    pub fn conflicts(&self, state: &StateKey, mask: &StateKey) -> bool {
+        state.bits.iter().zip(&mask.bits).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// `state ∪ mask`.
+    pub fn union(&self, state: &StateKey, mask: &StateKey) -> StateKey {
+        StateKey {
+            bits: state
+                .bits
+                .iter()
+                .zip(&mask.bits)
+                .map(|(&a, &b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Shift the state one cycle toward the present (commitments at
+    /// cycle 0 expire).
+    pub fn advance(&self, state: &StateKey) -> StateKey {
+        let mut out = self.empty();
+        for cycle in 1..self.horizon {
+            for r in 0..self.num_resources {
+                let src = cycle * self.num_resources + r;
+                if state.bits[src / 64] & (1 << (src % 64)) != 0 {
+                    let dst = (cycle - 1) * self.num_resources + r;
+                    out.bits[dst / 64] |= 1 << (dst % 64);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::MachineBuilder;
+
+    fn toy() -> MachineDescription {
+        let mut b = MachineBuilder::new("t");
+        let r0 = b.resource("r0");
+        let r1 = b.resource("r1");
+        b.operation("x").usage(r0, 0).usage(r1, 2).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mask_sets_expected_bits() {
+        let m = toy();
+        let sh = StateShape::for_machine(&m);
+        assert_eq!(sh.horizon, 3);
+        assert_eq!(sh.num_resources, 2);
+        let mask = sh.table_mask(m.operations()[0].table(), None);
+        // bit 0 (cycle 0, r0) and bit 2*2+1=5 (cycle 2, r1).
+        assert_eq!(mask.bits[0], 0b100001);
+    }
+
+    #[test]
+    fn advance_shifts_toward_present() {
+        let m = toy();
+        let sh = StateShape::for_machine(&m);
+        let mask = sh.table_mask(m.operations()[0].table(), None);
+        let a1 = sh.advance(&mask);
+        // cycle-2 r1 commitment moves to cycle 1: bit 1*2+1 = 3.
+        assert_eq!(a1.bits[0], 0b1000);
+        let a2 = sh.advance(&a1);
+        assert_eq!(a2.bits[0], 0b10);
+        let a3 = sh.advance(&a2);
+        assert_eq!(a3, sh.empty());
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let m = toy();
+        let sh = StateShape::for_machine(&m);
+        let mask = sh.table_mask(m.operations()[0].table(), None);
+        assert!(sh.conflicts(&mask, &mask));
+        assert!(!sh.conflicts(&sh.empty(), &mask));
+        let u = sh.union(&sh.empty(), &mask);
+        assert_eq!(u, mask);
+    }
+
+    #[test]
+    fn keep_filter_restricts_resources() {
+        let m = toy();
+        let sh = StateShape::for_machine(&m);
+        let keep = vec![true, false];
+        let mask = sh.table_mask(m.operations()[0].table(), Some(&keep));
+        assert_eq!(mask.bits[0], 0b1); // only r0@0 survives
+    }
+}

@@ -1,0 +1,140 @@
+//! Automata baseline: construction cost and query throughput of the
+//! finite-state-automaton approach vs. reduced reservation tables
+//! (paper §2/§6/§8 comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmd_automata::{partition_resources, Automaton, Direction, FactoredAutomata};
+use rmd_core::{reduce, Objective};
+use rmd_machine::models::{alpha21064, example_machine, mips_r3000};
+use rmd_machine::OpId;
+use rmd_query::{BitvecModule, ContentionQuery, DiscreteModule, WordLayout};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("automaton_build");
+    g.sample_size(10);
+    let ex = example_machine();
+    g.bench_function("example-monolithic", |b| {
+        b.iter(|| Automaton::build(black_box(&ex), Direction::Forward, 1 << 20).unwrap());
+    });
+    let alpha = alpha21064();
+    let p = partition_resources(&alpha, 2);
+    g.bench_function("alpha-factored-2", |b| {
+        b.iter(|| {
+            FactoredAutomata::build(black_box(&alpha), Direction::Forward, &p, 1 << 20).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let m = mips_r3000();
+    let fsa = Automaton::build(&m, Direction::Forward, 2_000_000).expect("mips automaton");
+    let red = reduce(&m, Objective::ResUses);
+    let n = red.reduced.num_resources().max(1);
+    let k = (64 / n as u32).max(1);
+    let red_bv = reduce(&m, Objective::KCycleWord { k });
+    let k_fit = k.min((64 / red_bv.reduced.num_resources() as u32).max(1));
+
+    let num_ops = m.num_operations() as u32;
+    let script: Vec<OpId> = (0..4096u32).map(|i| OpId((i * 31) % num_ops)).collect();
+
+    let mut g = c.benchmark_group("query_throughput_mips");
+    g.throughput(Throughput::Elements(script.len() as u64));
+
+    g.bench_function(BenchmarkId::from_parameter("fsa-cursor"), |b| {
+        b.iter(|| {
+            let mut s = fsa.start();
+            let mut issued = 0u32;
+            for &op in &script {
+                if let Some(next) = fsa.issue(s, op) {
+                    s = next;
+                    issued += 1;
+                }
+                s = fsa.advance(s);
+            }
+            black_box(issued)
+        });
+    });
+    g.bench_function(BenchmarkId::from_parameter("original-discrete"), |b| {
+        b.iter(|| {
+            let mut q = DiscreteModule::new(&m);
+            let mut issued = 0u32;
+            for (i, &op) in script.iter().enumerate() {
+                let t = i as u32;
+                if q.check(op, t) {
+                    q.assign(rmd_query::OpInstance(issued), op, t);
+                    issued += 1;
+                }
+            }
+            black_box(issued)
+        });
+    });
+    g.bench_function(
+        BenchmarkId::from_parameter(format!("reduced-bitvec-k{k_fit}")),
+        |b| {
+            b.iter(|| {
+                let mut q = BitvecModule::new(&red_bv.reduced, WordLayout::with_k(64, k_fit));
+                let mut issued = 0u32;
+                for (i, &op) in script.iter().enumerate() {
+                    let t = i as u32;
+                    if q.check(op, t) {
+                        q.assign(rmd_query::OpInstance(issued), op, t);
+                        issued += 1;
+                    }
+                }
+                black_box(issued)
+            });
+        },
+    );
+    g.finish();
+}
+
+/// Unrestricted (arbitrary-order) insertion: the Bala–Rubin pair scheme
+/// must propagate cached per-cycle states on every insertion, while the
+/// reservation-table module just ORs the new reservations in — the
+/// overhead the paper's §2 predicts.
+fn bench_unrestricted(c: &mut Criterion) {
+    use rmd_automata::unrestricted::PairScheduler;
+    let m = mips_r3000();
+    let fwd = Automaton::build(&m, Direction::Forward, 2_000_000).expect("mips fwd");
+    let rev = Automaton::build(&m, Direction::Reverse, 2_000_000).expect("mips rev");
+    let num_ops = m.num_operations() as u32;
+    // Arbitrary-order placement script: spread over a 256-cycle window.
+    let script: Vec<(OpId, u32)> = (0..512u32)
+        .map(|i| (OpId((i * 31) % num_ops), (i * 97) % 200))
+        .collect();
+
+    let mut g = c.benchmark_group("unrestricted_insertion_mips");
+    g.throughput(Throughput::Elements(script.len() as u64));
+    g.bench_function(BenchmarkId::from_parameter("automata-pair"), |b| {
+        b.iter(|| {
+            let mut s = PairScheduler::new(&m, &fwd, &rev, 256);
+            let mut placed = 0u32;
+            for &(op, t) in &script {
+                if s.check(op, t) {
+                    s.insert(op, t);
+                    placed += 1;
+                }
+            }
+            black_box(placed)
+        });
+    });
+    g.bench_function(BenchmarkId::from_parameter("reservation-tables"), |b| {
+        b.iter(|| {
+            let mut q = DiscreteModule::new(&m);
+            let mut placed = 0u32;
+            for &(op, t) in &script {
+                if q.check(op, t) {
+                    q.assign(rmd_query::OpInstance(placed), op, t);
+                    placed += 1;
+                }
+            }
+            black_box(placed)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query, bench_unrestricted);
+criterion_main!(benches);

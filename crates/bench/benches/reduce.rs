@@ -1,0 +1,56 @@
+//! Reduction-pipeline throughput: forbidden matrix, generating set, and
+//! full reduction per machine (the paper reduced the Cydra 5 in ~11
+//! minutes on a SPARC-20; this pipeline runs in milliseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmd_core::{generating_set, prune_dominated, reduce, Objective};
+use rmd_latency::{ClassPartition, ForbiddenMatrix};
+use rmd_machine::models::all_machines;
+use std::hint::black_box;
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forbidden_matrix");
+    for m in all_machines() {
+        g.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| ForbiddenMatrix::compute(black_box(m)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_genset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generating_set");
+    for m in all_machines() {
+        let f = ForbiddenMatrix::compute(&m);
+        let classes = ClassPartition::compute(&m, &f);
+        let cm = classes.class_machine(&m).unwrap();
+        let cf = ForbiddenMatrix::compute(&cm);
+        g.bench_with_input(BenchmarkId::from_parameter(m.name()), &cf, |b, cf| {
+            b.iter(|| prune_dominated(&generating_set(black_box(cf))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_reduction");
+    g.sample_size(20);
+    for m in all_machines() {
+        for (label, obj) in [
+            ("res-uses", Objective::ResUses),
+            ("4-cycle-word", Objective::KCycleWord { k: 4 }),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, m.name()),
+                &(&m, obj),
+                |b, (m, obj)| {
+                    b.iter(|| reduce(black_box(m), *obj));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matrix, bench_genset, bench_reduce);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! End-to-end modulo-scheduling throughput over a loop sample: the
+//! scheduler's wall-clock with the original description vs. the
+//! reductions — the outermost view of the paper's "2.9 times faster
+//! contention query module" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmd_core::{reduce, Objective};
+use rmd_loops::{suite, Loop, OpSet};
+use rmd_machine::models::cydra5_subset;
+use rmd_machine::MachineDescription;
+use rmd_query::WordLayout;
+use rmd_sched::{mii, ImsConfig, IterativeModuloScheduler, Representation};
+use std::hint::black_box;
+
+fn schedule_all(
+    machine: &MachineDescription,
+    _mii_machine: &MachineDescription,
+    loops: &[(Loop, u32)],
+    repr: Representation,
+) -> u64 {
+    let ims = IterativeModuloScheduler::new(ImsConfig::default());
+    let mut total = 0u64;
+    for (l, m) in loops {
+        let r = ims
+            .schedule_with_mii(&l.graph, machine, repr, *m)
+            .expect("schedulable");
+        total += u64::from(r.ii);
+    }
+    total
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let original = cydra5_subset();
+    let ops = OpSet::for_cydra_subset(&original);
+    let sample: Vec<(Loop, u32)> = suite(&ops, 60, 0xC5)
+        .into_iter()
+        .map(|l| {
+            let m = mii::mii(&l.graph, &original);
+            (l, m)
+        })
+        .collect();
+
+    let red_disc = reduce(&original, Objective::ResUses);
+    let kd = (64 / red_disc.reduced.num_resources() as u32).max(1);
+    let red_bv = reduce(&original, Objective::KCycleWord { k: kd });
+    let k_fit = kd.min((64 / red_bv.reduced.num_resources() as u32).max(1));
+
+    let mut g = c.benchmark_group("modulo_schedule_60_loops");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(sample.len() as u64));
+
+    g.bench_function(BenchmarkId::from_parameter("original-discrete"), |b| {
+        b.iter(|| {
+            black_box(schedule_all(
+                &original,
+                &original,
+                &sample,
+                Representation::Discrete,
+            ))
+        });
+    });
+    g.bench_function(BenchmarkId::from_parameter("reduced-discrete"), |b| {
+        b.iter(|| {
+            black_box(schedule_all(
+                &red_disc.reduced,
+                &original,
+                &sample,
+                Representation::Discrete,
+            ))
+        });
+    });
+    g.bench_function(
+        BenchmarkId::from_parameter(format!("reduced-bitvec-k{k_fit}")),
+        |b| {
+            b.iter(|| {
+                black_box(schedule_all(
+                    &red_bv.reduced,
+                    &original,
+                    &sample,
+                    Representation::Bitvec(WordLayout::with_k(64, k_fit)),
+                ))
+            });
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 2: reduced machine descriptions for the Cydra 5 benchmark
+//! subset (the classes actually used by the 1327-loop suite).
+//!
+//! Paper reference: 12 operation classes, 166 forbidden latencies
+//! (all < 21); resources 39 → 9; usages/operation 9.4 → 2.9; word
+//! usages 7.5 → 1.5 (64-bit words, 7-cycle words).
+
+use rmd_bench::{reduction_report, render_report, write_record};
+use rmd_machine::models::cydra5_subset;
+
+fn main() {
+    let report = reduction_report(&cydra5_subset(), &[32, 64]);
+    print!("{}", render_report(&report));
+    let orig = &report.columns[0];
+    let res = &report.columns[1];
+    let last = report.columns.last().expect("columns");
+    println!(
+        "\nPaper (Table 2): 39 -> 9 resources; usages/op 9.4 -> 2.9; word \
+         usages 7.5 -> 1.5 (÷5.0)."
+    );
+    println!(
+        "Here: {} -> {} resources; usages/op {:.1} -> {:.1}; word usages \
+         {:.1} -> {:.1} (÷{:.1}).",
+        orig.num_resources,
+        res.num_resources,
+        orig.avg_usages_per_op,
+        res.avg_usages_per_op,
+        orig.avg_word_usages,
+        last.avg_word_usages,
+        orig.avg_word_usages / last.avg_word_usages,
+    );
+    write_record("table2", &report);
+}

@@ -1,0 +1,457 @@
+//! Implementation of the `rmd` command-line tool.
+//!
+//! The binary wraps the reduction pipeline for interactive use:
+//!
+//! ```text
+//! rmd stats  <machine>                  # classes, latencies, table sizes
+//! rmd reduce <machine> [options]        # reduce and print/emit MDL
+//! rmd verify <machine-a> <machine-b>    # exact equivalence check
+//! rmd matrix <machine>                  # the forbidden-latency matrix
+//! rmd render <machine>                  # ASCII reservation tables
+//! rmd models                            # list built-in models
+//! ```
+//!
+//! `<machine>` is either a path to an `.mdl` file or the name of a
+//! built-in model (`fig1`, `mips`, `alpha`, `cydra5`, `cydra5-subset`).
+//! The library form exists so the argument parser and command logic are
+//! unit-testable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rmd_core::{reduce, verify_equivalence, Objective};
+use rmd_latency::{ClassPartition, ForbiddenMatrix};
+use rmd_machine::{mdl, models, MachineDescription};
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Command {
+    /// `rmd stats <machine>`
+    Stats {
+        /// Model name or `.mdl` path.
+        machine: String,
+    },
+    /// `rmd reduce <machine> [--objective res-uses|word] [--k N] [--emit-mdl]`
+    Reduce {
+        /// Model name or `.mdl` path.
+        machine: String,
+        /// Selection objective.
+        objective: ParsedObjective,
+        /// Also print the reduced machine as MDL.
+        emit_mdl: bool,
+    },
+    /// `rmd verify <a> <b>`
+    Verify {
+        /// First machine.
+        left: String,
+        /// Second machine.
+        right: String,
+    },
+    /// `rmd matrix <machine>`
+    Matrix {
+        /// Model name or `.mdl` path.
+        machine: String,
+    },
+    /// `rmd render <machine>`
+    Render {
+        /// Model name or `.mdl` path.
+        machine: String,
+    },
+    /// `rmd table <machine>`: a paper-style reduction report.
+    Table {
+        /// Model name or `.mdl` path.
+        machine: String,
+    },
+    /// `rmd models`
+    Models,
+    /// `rmd help` or no args.
+    Help,
+}
+
+/// Objective selection on the command line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParsedObjective {
+    /// `--objective res-uses` (default).
+    ResUses,
+    /// `--objective word --k N`.
+    Word {
+        /// Cycles per word.
+        k: u32,
+    },
+}
+
+impl From<ParsedObjective> for Objective {
+    fn from(p: ParsedObjective) -> Objective {
+        match p {
+            ParsedObjective::ResUses => Objective::ResUses,
+            ParsedObjective::Word { k } => Objective::KCycleWord { k },
+        }
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed command lines.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "stats" => Ok(Command::Stats {
+            machine: required(&mut it, "stats", "<machine>")?,
+        }),
+        "matrix" => Ok(Command::Matrix {
+            machine: required(&mut it, "matrix", "<machine>")?,
+        }),
+        "render" => Ok(Command::Render {
+            machine: required(&mut it, "render", "<machine>")?,
+        }),
+        "verify" => Ok(Command::Verify {
+            left: required(&mut it, "verify", "<machine-a>")?,
+            right: required(&mut it, "verify", "<machine-b>")?,
+        }),
+        "table" => Ok(Command::Table {
+            machine: required(&mut it, "table", "<machine>")?,
+        }),
+        "models" => Ok(Command::Models),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "reduce" => {
+            let machine = required(&mut it, "reduce", "<machine>")?;
+            let mut objective = ParsedObjective::ResUses;
+            let mut k: Option<u32> = None;
+            let mut want_word = false;
+            let mut emit_mdl = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--objective" => match it.next().map(String::as_str) {
+                        Some("res-uses") => want_word = false,
+                        Some("word") => want_word = true,
+                        other => {
+                            return Err(format!(
+                                "--objective expects `res-uses` or `word`, got {other:?}"
+                            ))
+                        }
+                    },
+                    "--k" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "--k expects a number".to_owned())?;
+                        k = Some(
+                            v.parse()
+                                .map_err(|_| format!("--k expects a number, got `{v}`"))?,
+                        );
+                    }
+                    "--emit-mdl" => emit_mdl = true,
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            if want_word {
+                objective = ParsedObjective::Word { k: k.unwrap_or(4) };
+            } else if k.is_some() {
+                return Err("--k only applies with --objective word".to_owned());
+            }
+            Ok(Command::Reduce {
+                machine,
+                objective,
+                emit_mdl,
+            })
+        }
+        other => Err(format!("unknown command `{other}` (try `rmd help`)")),
+    }
+}
+
+fn required(
+    it: &mut core::slice::Iter<'_, String>,
+    cmd: &str,
+    what: &str,
+) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("`rmd {cmd}` requires {what}"))
+}
+
+/// Built-in model names accepted anywhere a machine is expected.
+pub const MODEL_NAMES: [&str; 5] = ["fig1", "mips", "alpha", "cydra5", "cydra5-subset"];
+
+/// Loads a machine from a built-in model name or an `.mdl` file path.
+///
+/// # Errors
+///
+/// Reports unreadable files and parse errors with their positions.
+pub fn load_machine(spec: &str) -> Result<MachineDescription, String> {
+    match spec {
+        "fig1" => return Ok(models::example_machine()),
+        "mips" => return Ok(models::mips_r3000()),
+        "alpha" => return Ok(models::alpha21064()),
+        "cydra5" => return Ok(models::cydra5()),
+        "cydra5-subset" => return Ok(models::cydra5_subset()),
+        _ => {}
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("cannot read `{spec}`: {e}"))?;
+    let (m, _) = mdl::parse_machine(&text).map_err(|e| format!("{spec}: {e}"))?;
+    Ok(m)
+}
+
+/// Executes a command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a message suitable for printing to stderr (exit code 1).
+pub fn run(cmd: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => {
+            out.push_str(HELP);
+        }
+        Command::Models => {
+            for name in MODEL_NAMES {
+                let m = load_machine(name)?;
+                let _ = writeln!(
+                    out,
+                    "{name:14} {} resources, {} operations, {} usages",
+                    m.num_resources(),
+                    m.num_operations(),
+                    m.total_usages()
+                );
+            }
+        }
+        Command::Stats { machine } => {
+            let m = load_machine(machine)?;
+            let f = ForbiddenMatrix::compute(&m);
+            let classes = ClassPartition::compute(&m, &f);
+            let cm = classes.class_machine(&m).map_err(|e| e.to_string())?;
+            let cf = ForbiddenMatrix::compute(&cm);
+            let _ = writeln!(out, "{m}");
+            let _ = writeln!(
+                out,
+                "operation classes:       {}",
+                classes.num_classes()
+            );
+            let _ = writeln!(
+                out,
+                "forbidden latencies:     {} (max {})",
+                cf.total_nonneg(),
+                cf.max_latency()
+            );
+            let _ = writeln!(
+                out,
+                "avg usages per class:    {:.2}",
+                cm.avg_usages_per_op()
+            );
+            let _ = writeln!(
+                out,
+                "longest table:           {} cycles",
+                m.max_table_length()
+            );
+        }
+        Command::Matrix { machine } => {
+            let m = load_machine(machine)?;
+            let f = ForbiddenMatrix::compute(&m);
+            for (x, xop) in m.ops() {
+                for (y, yop) in m.ops() {
+                    let s = f.get(x, y);
+                    if !s.is_empty() {
+                        let _ =
+                            writeln!(out, "F[{}][{}] = {s}", xop.name(), yop.name());
+                    }
+                }
+            }
+        }
+        Command::Render { machine } => {
+            let m = load_machine(machine)?;
+            out.push_str(&rmd_machine::render::machine(&m));
+        }
+        Command::Table { machine } => {
+            let m = load_machine(machine)?;
+            let report = rmd_bench::reduction_report(&m, &[32, 64]);
+            out.push_str(&rmd_bench::render_report(&report));
+        }
+        Command::Verify { left, right } => {
+            let a = load_machine(left)?;
+            let b = load_machine(right)?;
+            match verify_equivalence(&a, &b) {
+                Ok(()) => {
+                    let _ = writeln!(
+                        out,
+                        "equivalent: `{left}` and `{right}` forbid exactly the same latencies"
+                    );
+                }
+                Err(e) => return Err(format!("NOT equivalent: {e}")),
+            }
+        }
+        Command::Reduce {
+            machine,
+            objective,
+            emit_mdl,
+        } => {
+            let m = load_machine(machine)?;
+            let red = reduce(&m, (*objective).into());
+            verify_equivalence(&m, &red.reduced)
+                .map_err(|e| format!("internal error: reduction broke equivalence: {e}"))?;
+            let _ = writeln!(
+                out,
+                "reduced `{}` under {:?}:",
+                m.name(),
+                Objective::from(*objective)
+            );
+            let _ = writeln!(
+                out,
+                "  resources  {:4} -> {:4}",
+                m.num_resources(),
+                red.reduced.num_resources()
+            );
+            let _ = writeln!(
+                out,
+                "  usages     {:4} -> {:4}",
+                m.total_usages(),
+                red.reduced.total_usages()
+            );
+            let _ = writeln!(
+                out,
+                "  generating set {} resources, {} after pruning",
+                red.genset_size, red.pruned_size
+            );
+            let _ = writeln!(out, "  equivalence verified: identical forbidden latencies");
+            if *emit_mdl {
+                out.push('\n');
+                out.push_str(&mdl::print(&red.reduced));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The help text.
+pub const HELP: &str = "\
+rmd — reduced multipipeline machine descriptions (PLDI '96)
+
+USAGE:
+    rmd stats  <machine>                     description statistics
+    rmd reduce <machine> [options]           reduce + verify
+    rmd verify <machine-a> <machine-b>       exact equivalence check
+    rmd matrix <machine>                     forbidden-latency matrix
+    rmd render <machine>                     ASCII reservation tables
+    rmd table  <machine>                     paper-style reduction report
+    rmd models                               list built-in models
+
+OPTIONS (reduce):
+    --objective res-uses|word                selection objective [res-uses]
+    --k <N>                                  cycles per word (with `word`) [4]
+    --emit-mdl                               print the reduced machine as MDL
+
+<machine> is a built-in model name (fig1, mips, alpha, cydra5,
+cydra5-subset) or a path to an .mdl file.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_reduce_with_options() {
+        let c = parse_args(&args(&[
+            "reduce",
+            "mips",
+            "--objective",
+            "word",
+            "--k",
+            "7",
+            "--emit-mdl",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Reduce {
+                machine: "mips".into(),
+                objective: ParsedObjective::Word { k: 7 },
+                emit_mdl: true,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(&args(&["reduce"])).is_err());
+        assert!(parse_args(&args(&["reduce", "mips", "--k", "2"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["reduce", "mips", "--objective", "speed"])).is_err());
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert!(run(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn stats_and_reduce_run_on_builtin_models() {
+        let s = run(&Command::Stats {
+            machine: "fig1".into(),
+        })
+        .unwrap();
+        assert!(s.contains("operation classes"));
+        let r = run(&Command::Reduce {
+            machine: "fig1".into(),
+            objective: ParsedObjective::ResUses,
+            emit_mdl: true,
+        })
+        .unwrap();
+        assert!(r.contains("resources     5 ->    2"), "{r}");
+        assert!(r.contains("machine \"fig1-example-reduced\""));
+    }
+
+    #[test]
+    fn verify_detects_equivalence_and_difference() {
+        assert!(run(&Command::Verify {
+            left: "fig1".into(),
+            right: "fig1".into(),
+        })
+        .is_ok());
+        assert!(run(&Command::Verify {
+            left: "fig1".into(),
+            right: "mips".into(),
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn load_machine_reports_missing_files() {
+        let e = load_machine("/no/such/file.mdl").unwrap_err();
+        assert!(e.contains("cannot read"));
+    }
+
+    #[test]
+    fn emitted_mdl_reparses() {
+        let out = run(&Command::Reduce {
+            machine: "cydra5-subset".into(),
+            objective: ParsedObjective::Word { k: 4 },
+            emit_mdl: true,
+        })
+        .unwrap();
+        let mdl_start = out.find("machine \"").expect("mdl present");
+        let (m, _) = rmd_machine::mdl::parse_machine(&out[mdl_start..]).unwrap();
+        assert!(m.num_resources() > 0);
+    }
+}
+
+#[cfg(test)]
+mod table_tests {
+    use super::*;
+
+    #[test]
+    fn table_command_renders_report() {
+        let c = parse_args(&["table".to_string(), "fig1".to_string()]).unwrap();
+        let out = run(&c).unwrap();
+        assert!(out.contains("number of resources"), "{out}");
+        assert!(out.contains("res-uses"));
+    }
+}

@@ -1,0 +1,19 @@
+//! The `rmd` binary. All logic lives in the library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rmd_cli::parse_args(&args) {
+        Ok(cmd) => match rmd_cli::run(&cmd) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", rmd_cli::HELP);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Pruning dominated resources from a generating set.
+
+use crate::synth::SynthResource;
+
+/// Removes every resource whose generated forbidden-latency set is covered
+/// by some other remaining resource (paper §5, first step of the selection
+/// heuristic).
+///
+/// This eliminates submaximal resources that Algorithm 1 may have
+/// produced, as well as redundant maximal resources such as mirror
+/// images. When two resources generate *equal* sets, exactly one
+/// survives.
+///
+/// The scan is deterministic: resources are visited in ascending order of
+/// generated-set size (ties broken by original index), so smaller, less
+/// useful resources are discarded first.
+pub fn prune_dominated(set: &[SynthResource]) -> Vec<SynthResource> {
+    let triples: Vec<Vec<(u32, u32, i32)>> =
+        set.iter().map(SynthResource::forbidden_triples).collect();
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.sort_by_key(|&i| (triples[i].len(), i));
+
+    let mut removed = vec![false; set.len()];
+    for &i in &order {
+        let dominated = (0..set.len()).any(|j| {
+            j != i && !removed[j] && is_sorted_subset(&triples[i], &triples[j])
+        });
+        if dominated {
+            removed[i] = true;
+        }
+    }
+    set.iter()
+        .zip(&removed)
+        .filter(|(_, &r)| !r)
+        .map(|(r, _)| r.clone())
+        .collect()
+}
+
+/// Subset test over two sorted, deduplicated slices.
+fn is_sorted_subset(a: &[(u32, u32, i32)], b: &[(u32, u32, i32)]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut bi = 0;
+    for x in a {
+        loop {
+            if bi >= b.len() {
+                return false;
+            }
+            match b[bi].cmp(x) {
+                core::cmp::Ordering::Less => bi += 1,
+                core::cmp::Ordering::Equal => {
+                    bi += 1;
+                    break;
+                }
+                core::cmp::Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genset::generating_set;
+    use crate::synth::SynthUsage;
+    use rmd_latency::ForbiddenMatrix;
+    use rmd_machine::models::example_machine;
+    use std::collections::HashSet;
+
+    fn u(c: u32, cy: u32) -> SynthUsage {
+        SynthUsage::new(c, cy)
+    }
+
+    #[test]
+    fn sorted_subset_works() {
+        let a = vec![(0, 0, 0), (1, 1, 2)];
+        let b = vec![(0, 0, 0), (0, 1, 1), (1, 1, 2)];
+        assert!(is_sorted_subset(&a, &b));
+        assert!(!is_sorted_subset(&b, &a));
+        assert!(is_sorted_subset(&[], &a));
+        assert!(!is_sorted_subset(&[(9, 9, 9)], &b));
+    }
+
+    #[test]
+    fn submaximal_resources_are_removed() {
+        let big = SynthResource::from_usages([u(1, 0), u(1, 1), u(1, 2), u(1, 3)]);
+        let small = SynthResource::from_usages([u(1, 0), u(1, 1)]);
+        let pruned = prune_dominated(&[small, big.clone()]);
+        assert_eq!(pruned, vec![big]);
+    }
+
+    #[test]
+    fn equal_sets_keep_exactly_one() {
+        // Mirror images generate the same forbidden set.
+        let r = SynthResource::from_usages([u(1, 0), u(0, 1)]);
+        let pruned = prune_dominated(&[r.clone(), r.clone()]);
+        assert_eq!(pruned.len(), 1);
+    }
+
+    #[test]
+    fn example_machine_prunes_to_two_maximal_resources() {
+        // The paper: the example machine has exactly two maximal
+        // resources (Figure 1c).
+        let f = ForbiddenMatrix::compute(&example_machine());
+        let pruned = prune_dominated(&generating_set(&f));
+        assert_eq!(pruned.len(), 2, "{pruned:?}");
+        let expect: HashSet<SynthResource> = [
+            SynthResource::from_usages([u(1, 0), u(0, 1)]),
+            SynthResource::from_usages([u(1, 0), u(1, 1), u(1, 2), u(1, 3)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(pruned.into_iter().collect::<HashSet<_>>(), expect);
+    }
+
+    #[test]
+    fn pruning_preserves_total_coverage() {
+        let f = ForbiddenMatrix::compute(&example_machine());
+        let set = generating_set(&f);
+        let pruned = prune_dominated(&set);
+        let cov = |rs: &[SynthResource]| {
+            rs.iter()
+                .flat_map(SynthResource::forbidden_triples)
+                .collect::<HashSet<_>>()
+        };
+        assert_eq!(cov(&set), cov(&pruned));
+    }
+}

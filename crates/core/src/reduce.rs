@@ -1,0 +1,180 @@
+//! The end-to-end reduction driver.
+
+use crate::genset::generating_set;
+use crate::prune::prune_dominated;
+use crate::select::{select, Objective, Selection};
+use rmd_latency::{ClassPartition, ForbiddenMatrix};
+use rmd_machine::{MachineBuilder, MachineDescription};
+
+/// The result of reducing a machine description (paper §3–§5).
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// Operation classes of the original machine.
+    pub classes: ClassPartition,
+    /// One representative operation per class.
+    pub class_machine: MachineDescription,
+    /// Class-level forbidden-latency matrix (the reduction's input and
+    /// its preserved invariant).
+    pub matrix: ForbiddenMatrix,
+    /// Size of the generating set before pruning.
+    pub genset_size: usize,
+    /// Size after pruning dominated resources.
+    pub pruned_size: usize,
+    /// The selected synthesized resources and usages.
+    pub selection: Selection,
+    /// The reduced machine with one operation per class.
+    pub reduced_classes: MachineDescription,
+    /// The reduced machine with every original operation (its table is
+    /// its class's reduced table); weights and alternative-base links are
+    /// preserved, so this is a drop-in replacement for the original.
+    pub reduced: MachineDescription,
+}
+
+/// Runs the full reduction pipeline on `machine` under `objective`.
+///
+/// The returned [`Reduction::reduced`] machine produces **exactly** the
+/// same forbidden-latency matrix as `machine`
+/// (see [`verify_equivalence`](crate::verify_equivalence)), while using
+/// far fewer resources and usages.
+///
+/// # Example
+///
+/// ```
+/// use rmd_core::{reduce, Objective};
+/// use rmd_machine::models::mips_r3000;
+///
+/// let m = mips_r3000();
+/// let red = reduce(&m, Objective::ResUses);
+/// assert!(red.reduced.num_resources() < m.num_resources());
+/// assert!(red.reduced.total_usages() < m.total_usages());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the internal invariants are violated (e.g. a class ends up
+/// with an empty reduced table) — this indicates a bug, not bad input, as
+/// any valid machine can be reduced.
+pub fn reduce(machine: &MachineDescription, objective: Objective) -> Reduction {
+    // Step 1: classes and the class-level matrix.
+    let f_ops = ForbiddenMatrix::compute(machine);
+    let classes = ClassPartition::compute(machine, &f_ops);
+    let class_machine = classes
+        .class_machine(machine)
+        .expect("class machine of a valid machine is valid");
+    let matrix = ForbiddenMatrix::compute(&class_machine);
+
+    // Step 2: generating set of maximal resources.
+    let genset = generating_set(&matrix);
+    let genset_size = genset.len();
+    let pruned = prune_dominated(&genset);
+    let pruned_size = pruned.len();
+
+    // Step 3: cover selection.
+    let selection = select(&matrix, &pruned, objective);
+
+    // Materialize the reduced class machine.
+    let mut b = MachineBuilder::new(format!("{}-reduced", machine.name()));
+    let mut qids = Vec::with_capacity(selection.resources.len());
+    for i in 0..selection.resources.len() {
+        qids.push(b.resource(format!("q{i}")));
+    }
+    for (ci, _) in classes.iter() {
+        let rep = class_machine.operation(rmd_machine::OpId(ci.0));
+        let mut ob = b.operation(rep.name().to_owned()).weight(rep.weight());
+        for (ri, r) in selection.resources.iter().enumerate() {
+            for u in r.usages() {
+                if u.class == ci.0 {
+                    ob = ob.usage(qids[ri], u.cycle);
+                }
+            }
+        }
+        ob.finish();
+    }
+    let reduced_classes = b.build().expect("reduced class machine is valid");
+
+    // Materialize the reduced full machine: each original op carries its
+    // class's reduced table.
+    let mut b = MachineBuilder::new(format!("{}-reduced", machine.name()));
+    for i in 0..selection.resources.len() {
+        b.resource(format!("q{i}"));
+    }
+    for (id, op) in machine.ops() {
+        let class_table = reduced_classes
+            .operation(rmd_machine::OpId(classes.class_of(id).0))
+            .table()
+            .clone();
+        let mut ob = b.operation(op.name().to_owned()).weight(op.weight());
+        if let Some(base) = op.base() {
+            ob = ob.base(base.to_owned());
+        }
+        for u in class_table.usages() {
+            ob = ob.usage(u.resource, u.cycle);
+        }
+        ob.finish();
+    }
+    let reduced = b.build().expect("reduced machine is valid");
+
+    Reduction {
+        classes,
+        class_machine,
+        matrix,
+        genset_size,
+        pruned_size,
+        selection,
+        reduced_classes,
+        reduced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_equivalence;
+    use rmd_machine::models::example_machine;
+
+    #[test]
+    fn figure_1_reduction() {
+        let m = example_machine();
+        let red = reduce(&m, Objective::ResUses);
+        assert_eq!(red.reduced.num_resources(), 2);
+        // A: 3 usages -> 1, B: 8 usages -> 4.
+        let a = red.reduced.operation(red.reduced.op_by_name("A").unwrap());
+        let b = red.reduced.operation(red.reduced.op_by_name("B").unwrap());
+        assert_eq!(a.table().num_usages(), 1);
+        assert_eq!(b.table().num_usages(), 4);
+        assert!(verify_equivalence(&m, &red.reduced).is_ok());
+    }
+
+    #[test]
+    fn reduction_preserves_names_weights_and_order() {
+        let m = rmd_machine::models::mips_r3000();
+        let red = reduce(&m, Objective::ResUses);
+        assert_eq!(red.reduced.num_operations(), m.num_operations());
+        for (id, op) in m.ops() {
+            let rop = red.reduced.operation(id);
+            assert_eq!(op.name(), rop.name());
+            assert!((op.weight() - rop.weight()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_members_share_reduced_tables() {
+        let m = rmd_machine::models::cydra5();
+        let red = reduce(&m, Objective::ResUses);
+        let iadd = m.op_by_name("iadd").unwrap();
+        let ior = m.op_by_name("ior").unwrap();
+        assert_eq!(red.classes.class_of(iadd), red.classes.class_of(ior));
+        assert_eq!(
+            red.reduced.operation(iadd).table(),
+            red.reduced.operation(ior).table()
+        );
+    }
+
+    #[test]
+    fn genset_shrinks_under_pruning() {
+        let m = example_machine();
+        let red = reduce(&m, Objective::ResUses);
+        assert!(red.pruned_size <= red.genset_size);
+        assert_eq!(red.pruned_size, 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Description metrics matching the paper's Tables 1–4.
+
+use rmd_machine::{MachineDescription, ReservationTable};
+
+/// Summary statistics of a machine description, one row of the paper's
+/// Tables 1–4.
+///
+/// All per-operation averages use uniform weights over the machine's
+/// operations (the paper's §6 assumption; the machines handed to these
+/// functions have one operation per class).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DescriptionStats {
+    /// Total number of resources modeled.
+    pub num_resources: usize,
+    /// Number of operations (classes).
+    pub num_operations: usize,
+    /// Total resource usages over all reservation tables.
+    pub total_usages: usize,
+    /// Average resource usages per operation.
+    pub avg_usages_per_op: f64,
+}
+
+impl DescriptionStats {
+    /// Computes the statistics of `m`.
+    pub fn of(m: &MachineDescription) -> Self {
+        DescriptionStats {
+            num_resources: m.num_resources(),
+            num_operations: m.num_operations(),
+            total_usages: m.total_usages(),
+            avg_usages_per_op: m.avg_usages_per_op(),
+        }
+    }
+
+    /// Bits needed per schedule cycle to store a reserved table for this
+    /// machine (one flag per resource) — the paper's memory-storage
+    /// comparison ("22 to 90% of the memory storage").
+    pub fn reserved_bits_per_cycle(&self) -> usize {
+        self.num_resources
+    }
+}
+
+/// Number of nonempty `k`-cycle words in `table` when its cycles are
+/// shifted by `alignment` before packing — i.e. how many memory words a
+/// bitvector `check` touches for a query at a cycle congruent to
+/// `alignment (mod k)`.
+pub fn word_usages_of_table(table: &ReservationTable, k: u32, alignment: u32) -> usize {
+    assert!(k >= 1, "word size must be at least one cycle");
+    let mut words: Vec<u32> = table
+        .usages()
+        .iter()
+        .map(|u| (u.cycle + alignment) / k)
+        .collect();
+    words.sort_unstable();
+    words.dedup();
+    words.len()
+}
+
+/// Average nonempty-word count per operation, averaged over all
+/// operations and all `k` possible alignments between the reserved and
+/// reservation bitvectors — the paper's *word usage* metric (Tables 1–4).
+pub fn avg_word_usages(m: &MachineDescription, k: u32) -> f64 {
+    let mut total = 0usize;
+    for op in m.operations() {
+        for a in 0..k {
+            total += word_usages_of_table(op.table(), k, a);
+        }
+    }
+    total as f64 / (m.num_operations() as f64 * f64::from(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::{MachineBuilder, ResourceId};
+
+    #[test]
+    fn word_usages_respect_alignment() {
+        let t = ReservationTable::from_usages([
+            (ResourceId(0), 0),
+            (ResourceId(1), 1),
+            (ResourceId(0), 4),
+        ]);
+        // k=4, alignment 0: words {0, 1} -> 2.
+        assert_eq!(word_usages_of_table(&t, 4, 0), 2);
+        // k=4, alignment 3: cycles 3,4,7 -> words {0,1,1} -> 2.
+        assert_eq!(word_usages_of_table(&t, 4, 3), 2);
+        // k=1: every distinct cycle is a word.
+        assert_eq!(word_usages_of_table(&t, 1, 0), 3);
+        // k large: single word.
+        assert_eq!(word_usages_of_table(&t, 16, 0), 1);
+    }
+
+    #[test]
+    fn multiple_resources_in_one_cycle_share_a_word() {
+        let t = ReservationTable::from_usages([(ResourceId(0), 0), (ResourceId(1), 0)]);
+        assert_eq!(word_usages_of_table(&t, 1, 0), 1);
+    }
+
+    #[test]
+    fn avg_word_usages_averages_ops_and_alignments() {
+        let mut b = MachineBuilder::new("m");
+        let r = b.resource("r");
+        b.operation("x").usage(r, 0).finish(); // 1 word at any alignment
+        b.operation("y").usage(r, 0).usage(r, 1).finish();
+        let m = b.build().unwrap();
+        // k=2: op y occupies 1 word at alignment 0 ({0,0}), 2 at
+        // alignment 1 (cycles 1,2 -> words 0,1). Average over ops and
+        // alignments: (1+1+1+2)/4 = 1.25.
+        assert!((avg_word_usages(&m, 2) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_reports_counts() {
+        let m = rmd_machine::models::example_machine();
+        let s = DescriptionStats::of(&m);
+        assert_eq!(s.num_resources, 5);
+        assert_eq!(s.num_operations, 2);
+        assert_eq!(s.total_usages, 11);
+        assert!((s.avg_usages_per_op - 5.5).abs() < 1e-12);
+        assert_eq!(s.reserved_bits_per_cycle(), 5);
+    }
+}

@@ -1,0 +1,40 @@
+//! Forbidden-latency machinery (paper §3, step 1).
+//!
+//! Given a machine description, two operations `X` and `Y` scheduled at
+//! times `t_X` and `t_Y` conflict iff some shared resource is used
+//! simultaneously. The *forbidden latency set*
+//! `F[X][Y] = { y − x | resource i, x ∈ X_i, y ∈ Y_i }` collects every
+//! initiation interval `j` such that X may not issue `j` cycles after Y.
+//! This crate computes the full [`ForbiddenMatrix`] of those sets,
+//! partitions operations into classes with identical constraint behaviour
+//! ([`ClassPartition`]), and provides the supporting [`BitSet`] and
+//! [`LatencySet`] containers used throughout the reduction pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use rmd_machine::models::example_machine;
+//! use rmd_latency::ForbiddenMatrix;
+//!
+//! let m = example_machine();
+//! let f = ForbiddenMatrix::compute(&m);
+//! let a = m.op_by_name("A").unwrap();
+//! let b = m.op_by_name("B").unwrap();
+//! // B may not issue 1 cycle after A:
+//! assert!(f.get(b, a).contains(1));
+//! // ... and symmetrically A may not issue -1 cycles after B:
+//! assert!(f.get(a, b).contains(-1));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitset;
+mod classes;
+mod latency_set;
+mod matrix;
+
+pub use bitset::BitSet;
+pub use classes::{ClassId, ClassPartition};
+pub use latency_set::LatencySet;
+pub use matrix::ForbiddenMatrix;

@@ -1,0 +1,36 @@
+//! A synthetic innermost-loop benchmark suite.
+//!
+//! The paper's evaluation runs over 1327 loops from the Perfect Club,
+//! SPEC-89, and the Livermore Fortran Kernels, as compiled by the
+//! proprietary Cydra 5 Fortran77 compiler. Those dependence graphs are
+//! not available, so this crate generates a distribution-matched
+//! replacement (see DESIGN.md §5): hand-written dependence-graph
+//! templates for classic Livermore-style kernels ([`kernels`]) plus a
+//! seeded random generator ([`random`]), combined by [`suite`] into a
+//! deterministic 1327-loop suite whose size range (2–161 operations,
+//! mean ≈ 17.5) and recurrence mix match the paper's Table 5.
+//!
+//! # Example
+//!
+//! ```
+//! use rmd_machine::models::cydra5_subset;
+//! use rmd_loops::{suite, OpSet};
+//!
+//! let m = cydra5_subset();
+//! let ops = OpSet::for_cydra_subset(&m);
+//! let loops = suite(&ops, 1327, 0xC5);
+//! assert_eq!(loops.len(), 1327);
+//! let sizes: Vec<usize> = loops.iter().map(|l| l.graph.num_nodes()).collect();
+//! assert_eq!(*sizes.iter().min().unwrap(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kernels;
+mod opset;
+pub mod random;
+mod suite;
+
+pub use opset::OpSet;
+pub use suite::{suite, Loop};

@@ -1,0 +1,99 @@
+//! Typed indices for resources and operations.
+
+use core::fmt;
+
+/// Identifies a physical (or synthesized) resource within a machine
+/// description.
+///
+/// Resource ids are dense indices assigned in declaration order by
+/// [`MachineBuilder`](crate::MachineBuilder).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct ResourceId(pub u32);
+
+/// Identifies an operation within a machine description.
+///
+/// Operation ids are dense indices assigned in declaration order by
+/// [`MachineBuilder`](crate::MachineBuilder).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct OpId(pub u32);
+
+impl ResourceId {
+    /// Returns the id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl OpId {
+    /// Returns the id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl From<ResourceId> for usize {
+    fn from(id: ResourceId) -> usize {
+        id.index()
+    }
+}
+
+impl From<OpId> for usize {
+    fn from(id: OpId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", ResourceId(3)), "r3");
+        assert_eq!(format!("{:?}", OpId(7)), "op7");
+        assert_eq!(format!("{}", OpId(0)), "op0");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ResourceId(1) < ResourceId(2));
+        assert!(OpId(0) < OpId(10));
+    }
+
+    #[test]
+    fn ids_convert_to_usize() {
+        let r: usize = ResourceId(5).into();
+        assert_eq!(r, 5);
+        assert_eq!(OpId(9).index(), 9);
+    }
+}

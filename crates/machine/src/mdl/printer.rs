@@ -1,0 +1,126 @@
+//! Pretty-printing machine descriptions back to MDL text.
+
+use crate::alternatives::AltDescription;
+use crate::machine::MachineDescription;
+use crate::table::ReservationTable;
+use std::fmt::Write as _;
+
+/// Renders a flat [`MachineDescription`] as MDL source.
+///
+/// The output parses back (via [`parse_machine`](super::parse_machine)) to
+/// an equal description.
+pub fn print(m: &MachineDescription) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "machine \"{}\" {{", m.name());
+    let _ = writeln!(out, "    resources {{");
+    for r in m.resources() {
+        let _ = writeln!(out, "        {};", r.name());
+    }
+    let _ = writeln!(out, "    }}");
+    for op in m.operations() {
+        let _ = write!(out, "\n    op {}", op.name());
+        if (op.weight() - 1.0).abs() > 1e-12 {
+            let _ = write!(out, " weight {}", op.weight());
+        }
+        let _ = writeln!(out, " {{");
+        print_body(&mut out, m, op.table(), "        ");
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders an [`AltDescription`] (alternatives preserved) as MDL source.
+pub fn print_alt(d: &AltDescription) -> String {
+    let names = d.resource_names();
+    let mut out = String::new();
+    let _ = writeln!(out, "machine \"{}\" {{", d.name());
+    let _ = writeln!(out, "    resources {{");
+    for n in names {
+        let _ = writeln!(out, "        {n};");
+    }
+    let _ = writeln!(out, "    }}");
+    for op in d.operations() {
+        let _ = write!(out, "\n    op {}", op.name());
+        if (op.weight() - 1.0).abs() > 1e-12 {
+            let _ = write!(out, " weight {}", op.weight());
+        }
+        if op.alternatives().len() == 1 {
+            let _ = writeln!(out, " {{");
+            print_body_names(&mut out, names, &op.alternatives()[0], "        ");
+            let _ = writeln!(out, "    }}");
+        } else {
+            let _ = writeln!(out, " alt {{");
+            for alt in op.alternatives() {
+                let _ = writeln!(out, "        {{");
+                print_body_names(&mut out, names, alt, "            ");
+                let _ = writeln!(out, "        }}");
+            }
+            let _ = writeln!(out, "    }}");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn print_body(out: &mut String, m: &MachineDescription, t: &ReservationTable, indent: &str) {
+    let names: Vec<String> = m.resources().iter().map(|r| r.name().to_owned()).collect();
+    print_body_names(out, &names, t, indent);
+}
+
+fn print_body_names(out: &mut String, names: &[String], t: &ReservationTable, indent: &str) {
+    for r in t.resources() {
+        let cycles = t.usage_set(r);
+        let spec = cycles_to_spec(&cycles);
+        let _ = writeln!(out, "{indent}use {} @ {spec};", names[r.index()]);
+    }
+}
+
+/// Formats a sorted cycle list compactly, merging runs into ranges:
+/// `[2,3,4,6]` becomes `2..5, 6`.
+fn cycles_to_spec(cycles: &[u32]) -> String {
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < cycles.len() {
+        let start = cycles[i];
+        let mut end = start;
+        while i + 1 < cycles.len() && cycles[i + 1] == end + 1 {
+            i += 1;
+            end = cycles[i];
+        }
+        if end > start {
+            parts.push(format!("{start}..{}", end + 1));
+        } else {
+            parts.push(format!("{start}"));
+        }
+        i += 1;
+    }
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdl::parse_machine;
+    use crate::MachineBuilder;
+
+    #[test]
+    fn cycles_collapse_to_ranges() {
+        assert_eq!(cycles_to_spec(&[0]), "0");
+        assert_eq!(cycles_to_spec(&[2, 3, 4, 6]), "2..5, 6");
+        assert_eq!(cycles_to_spec(&[1, 3, 5]), "1, 3, 5");
+        assert_eq!(cycles_to_spec(&[0, 1]), "0..2");
+    }
+
+    #[test]
+    fn printed_machine_reparses_equal() {
+        let mut b = MachineBuilder::new("rt");
+        let r0 = b.resource("alu");
+        let r1 = b.resource("bus");
+        b.operation("add").usage(r0, 0).usage(r1, 2).finish();
+        b.operation("mul").span(r0, 0, 4).weight(0.5).finish();
+        let m = b.build().unwrap();
+        let (m2, _) = parse_machine(&print(&m)).unwrap();
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's Figure 1 running example.
+
+use crate::{MachineBuilder, MachineDescription};
+
+/// The hypothetical two-operation machine of the paper's Figure 1.
+///
+/// * Operation `A` models a fully pipelined functional unit: it flows
+///   through three stages in consecutive cycles (3 usages).
+/// * Operation `B` models a partially pipelined unit: resource `mul-stage`
+///   is held for 4 consecutive cycles and `round-stage` for 2 (8 usages
+///   total).
+///
+/// The resulting forbidden latencies are exactly the paper's:
+/// `F[A][A] = {0}`, `F[B][A] = {1}`, `F[A][B] = {-1}`, and
+/// `F[B][B] = {0, ±1, ±2, ±3}`. Reduction shrinks this description to 2
+/// synthesized resources with 1 usage for `A` and 4 for `B` (Figure 1d).
+pub fn example_machine() -> MachineDescription {
+    let mut b = MachineBuilder::new("fig1-example");
+    let r0 = b.resource("stage0");
+    let r1 = b.resource("stage1");
+    let r2 = b.resource("stage2");
+    let r3 = b.resource("mul-stage");
+    let r4 = b.resource("round-stage");
+
+    // A: fully pipelined, one stage per cycle.
+    b.operation("A").usage(r0, 0).usage(r1, 1).usage(r2, 2).finish();
+
+    // B: enters the shared stages one cycle "ahead" of A (creating the
+    // cross latency 1 in F[B][A]), then occupies the multiply stage for 4
+    // cycles and the rounding stage for 2.
+    b.operation("B")
+        .usage(r1, 0)
+        .usage(r2, 1)
+        .usages(r3, [2, 3, 4, 5])
+        .usages(r4, [6, 7])
+        .finish();
+
+    b.build().expect("example machine is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forbidden_latencies_match_paper() {
+        let m = example_machine();
+        let a = m.operation(m.op_by_name("A").unwrap()).table();
+        let b = m.operation(m.op_by_name("B").unwrap()).table();
+
+        // F[X][Y] contains j  <=>  X cannot issue j cycles after Y
+        //                     <=>  Y.collides_at(X, j).
+        // F[A][A] = {0}
+        for j in -10..=10i64 {
+            assert_eq!(a.collides_at(a, j), j == 0, "F[A][A] at {j}");
+        }
+        // F[B][A] = {1}: B cannot issue 1 cycle after A.
+        for j in -10..=10i64 {
+            assert_eq!(a.collides_at(b, j), j == 1, "F[B][A] at {j}");
+        }
+        // F[A][B] = {-1}.
+        for j in -10..=10i64 {
+            assert_eq!(b.collides_at(a, j), j == -1, "F[A][B] at {j}");
+        }
+        // F[B][B] = {0, ±1, ±2, ±3}.
+        for j in -10..=10i64 {
+            assert_eq!(b.collides_at(b, j), j.abs() <= 3, "F[B][B] at {j}");
+        }
+    }
+}

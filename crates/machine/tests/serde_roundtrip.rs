@@ -1,0 +1,37 @@
+//! JSON (de)serialization round-trips for machine descriptions.
+
+#![cfg(feature = "serde")]
+
+use rmd_machine::models::all_machines;
+use rmd_machine::MachineDescription;
+
+#[test]
+fn models_round_trip_through_json() {
+    for m in all_machines() {
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: MachineDescription = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(m, back, "{}", m.name());
+        // Derived state (the name index) must be rebuilt on deserialize.
+        for (id, op) in m.ops() {
+            assert_eq!(back.op_by_name(op.name()), Some(id));
+        }
+    }
+}
+
+#[test]
+fn invalid_json_machines_are_rejected() {
+    // An operation with an out-of-range resource id must fail validation
+    // at deserialization time, not at first use.
+    let json = r#"{
+        "name": "bad",
+        "resources": [{"name": "r0"}],
+        "operations": [{
+            "name": "x",
+            "table": {"usages": [{"resource": 7, "cycle": 0}]},
+            "base": null,
+            "weight": 1.0
+        }]
+    }"#;
+    let r: Result<MachineDescription, _> = serde_json::from_str(json);
+    assert!(r.is_err(), "undeclared resource must be rejected");
+}

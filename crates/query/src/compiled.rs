@@ -1,0 +1,164 @@
+//! Machine descriptions compiled into query-friendly forms.
+
+use rmd_machine::{MachineDescription, OpId};
+
+/// Per-operation usage lists: `(resource index, cycle)` pairs sorted by
+/// cycle then resource — the iteration order of the discrete functions.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledUsages {
+    pub num_resources: usize,
+    /// `usages[op] = [(resource, cycle), ...]`, sorted by (cycle, resource).
+    pub usages: Vec<Vec<(u32, u32)>>,
+    /// Table length (cycles) per op.
+    pub length: Vec<u32>,
+}
+
+impl CompiledUsages {
+    pub fn new(m: &MachineDescription) -> Self {
+        let usages = m
+            .operations()
+            .iter()
+            .map(|op| {
+                let mut v: Vec<(u32, u32)> = op
+                    .table()
+                    .usages()
+                    .iter()
+                    .map(|u| (u.resource.0, u.cycle))
+                    .collect();
+                v.sort_unstable_by_key(|&(r, c)| (c, r));
+                v
+            })
+            .collect();
+        let length = m.operations().iter().map(|op| op.table().length()).collect();
+        CompiledUsages {
+            num_resources: m.num_resources(),
+            usages,
+            length,
+        }
+    }
+
+    #[inline]
+    pub fn of(&self, op: OpId) -> &[(u32, u32)] {
+        &self.usages[op.index()]
+    }
+}
+
+/// A reservation table compiled to per-alignment word masks for the
+/// bitvector representation.
+///
+/// Cycle bitvectors (one bit per resource) are packed `k` per word. A
+/// query at cycle `t` has alignment `a = t mod k` and base word
+/// `t div k`; the compiled form stores, for each alignment, the list of
+/// `(word offset, mask)` pairs of nonempty words.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledMasks {
+    /// `masks[op][alignment] = [(word_offset, mask), ...]` sorted by offset.
+    pub masks: Vec<Vec<Vec<(u32, u64)>>>,
+}
+
+impl CompiledMasks {
+    /// Compiles `m` with `k` cycles per word. Requires
+    /// `k * num_resources <= 64` (the paper's "k bitvectors packed per
+    /// memory word" with 32- or 64-bit words; storage here is always
+    /// `u64`, the logical word size is enforced by the caller's choice of
+    /// `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word cannot hold `k` cycle-bitvectors.
+    pub fn new(m: &MachineDescription, k: u32) -> Self {
+        let nr = m.num_resources() as u32;
+        assert!(k >= 1, "need at least one cycle per word");
+        assert!(
+            k * nr <= 64,
+            "k={k} cycles of {nr} resources exceed a 64-bit word"
+        );
+        let masks = m
+            .operations()
+            .iter()
+            .map(|op| {
+                (0..k)
+                    .map(|a| {
+                        let mut words: Vec<(u32, u64)> = Vec::new();
+                        for u in op.table().usages() {
+                            let gc = u.cycle + a;
+                            let w = gc / k;
+                            let bit = (gc % k) * nr + u.resource.0;
+                            match words.binary_search_by_key(&w, |&(wo, _)| wo) {
+                                Ok(i) => words[i].1 |= 1u64 << bit,
+                                Err(i) => words.insert(i, (w, 1u64 << bit)),
+                            }
+                        }
+                        words
+                    })
+                    .collect()
+            })
+            .collect();
+        CompiledMasks { masks }
+    }
+
+    #[inline]
+    pub fn of(&self, op: OpId, alignment: u32) -> &[(u32, u64)] {
+        &self.masks[op.index()][alignment as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::MachineBuilder;
+
+    fn toy() -> MachineDescription {
+        let mut b = MachineBuilder::new("t");
+        let r0 = b.resource("r0");
+        let r1 = b.resource("r1");
+        b.operation("x").usage(r0, 0).usage(r1, 2).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn usages_sorted_by_cycle() {
+        let m = toy();
+        let c = CompiledUsages::new(&m);
+        assert_eq!(c.of(OpId(0)), &[(0, 0), (1, 2)]);
+        assert_eq!(c.length[0], 3);
+        assert_eq!(c.num_resources, 2);
+    }
+
+    #[test]
+    fn masks_pack_cycles_into_words() {
+        let m = toy();
+        // k=2, 2 resources: bits [c_local*2 + r].
+        let c = CompiledMasks::new(&m, 2);
+        // Alignment 0: cycle 0 -> word 0 bit 0; cycle 2 -> word 1 bit 1.
+        assert_eq!(c.of(OpId(0), 0), &[(0, 0b01), (1, 0b10)]);
+        // Alignment 1: cycle 1 -> word 0 bit (1*2+0)=2; cycle 3 -> word 1
+        // bit (1*2+1)=3.
+        assert_eq!(c.of(OpId(0), 1), &[(0, 0b100), (1, 0b1000)]);
+    }
+
+    #[test]
+    fn masks_merge_same_word() {
+        let mut b = MachineBuilder::new("t");
+        let r0 = b.resource("r0");
+        let r1 = b.resource("r1");
+        b.operation("x").usage(r0, 0).usage(r1, 1).finish();
+        let m = b.build().unwrap();
+        let c = CompiledMasks::new(&m, 2);
+        // Both cycles in word 0: bits 0 and (1*2+1)=3.
+        assert_eq!(c.of(OpId(0), 0), &[(0, 0b1001)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed a 64-bit word")]
+    fn masks_reject_oversized_k() {
+        let mut b = MachineBuilder::new("t");
+        for i in 0..33 {
+            b.resource(format!("r{i}"));
+        }
+        let r = rmd_machine::ResourceId(0);
+        b.operation("x").usage(r, 0).finish();
+        let m = b.build().unwrap();
+        let _ = CompiledMasks::new(&m, 2);
+    }
+}

@@ -1,0 +1,557 @@
+//! Modulo reservation tables for software pipelining (paper §8).
+//!
+//! In a modulo schedule with initiation interval II, an operation issued
+//! at cycle `t` uses its cycle-`c` resources in *slot* `(t + c) mod II`
+//! of a table with II rows — every iteration repeats the same pattern.
+//! Both query representations exist in modulo form; the scheduler
+//! allocates one per scheduling attempt (II is fixed per attempt).
+
+use crate::compiled::CompiledUsages;
+use crate::counters::WorkCounters;
+use crate::registry::{OpInstance, Registry};
+use crate::traits::ContentionQuery;
+use crate::WordLayout;
+use rmd_machine::{MachineDescription, OpId};
+
+/// Discrete-representation modulo reservation table.
+///
+/// # Example
+///
+/// ```
+/// use rmd_machine::models::example_machine;
+/// use rmd_query::{ContentionQuery, ModuloDiscreteModule, OpInstance};
+///
+/// let m = example_machine();
+/// let b = m.op_by_name("B").unwrap();
+/// // II = 4: B self-conflicts at latencies {1,2,3} mod 4, so a second B
+/// // can never be placed in a different slot...
+/// let mut q = ModuloDiscreteModule::new(&m, 4);
+/// q.assign(OpInstance(0), b, 0);
+/// assert!(!q.check(b, 1));
+/// assert!(!q.check(b, 7));
+/// // ...and II = 8 leaves slots 4..=7 free.
+/// let mut q = ModuloDiscreteModule::new(&m, 8);
+/// q.assign(OpInstance(0), b, 0);
+/// assert!(q.check(b, 4));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModuloDiscreteModule {
+    compiled: CompiledUsages,
+    ii: u32,
+    /// `owner[slot * num_resources + r]`, `slot ∈ 0..ii`.
+    owner: Vec<Option<OpInstance>>,
+    /// Per op: placeable at all under this II (no self-overlap of one
+    /// resource slot across iterations)? Precomputed at construction.
+    fits: Vec<bool>,
+    registry: Registry,
+    counters: WorkCounters,
+}
+
+/// Computes, for every op, whether its table avoids mapping two usages of
+/// one resource to the same modulo slot.
+fn compute_fits(usages: &CompiledUsages, ii: u32) -> Vec<bool> {
+    usages
+        .usages
+        .iter()
+        .map(|us| {
+            for (i, &(r, c)) in us.iter().enumerate() {
+                for &(r2, c2) in &us[i + 1..] {
+                    if r == r2 && (c % ii) == (c2 % ii) {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+impl ModuloDiscreteModule {
+    /// Creates an empty modulo reservation table with the given
+    /// initiation interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(machine: &MachineDescription, ii: u32) -> Self {
+        assert!(ii > 0, "initiation interval must be positive");
+        let compiled = CompiledUsages::new(machine);
+        let owner = vec![None; ii as usize * compiled.num_resources];
+        let fits = compute_fits(&compiled, ii);
+        ModuloDiscreteModule {
+            compiled,
+            ii,
+            owner,
+            fits,
+            registry: Registry::new(),
+            counters: WorkCounters::new(),
+        }
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Whether `op` is placeable at all under this II (no two usages of
+    /// one resource collapse onto the same modulo slot). Schedulers
+    /// should bump II when any operation of the loop does not fit.
+    pub fn fits(&self, op: OpId) -> bool {
+        self.fits[op.index()]
+    }
+
+    #[inline]
+    fn slot(&self, r: u32, cycle: u32, c: u32) -> usize {
+        let s = (cycle as u64 + c as u64) % self.ii as u64;
+        s as usize * self.compiled.num_resources + r as usize
+    }
+
+    /// Whether an operation with `count` usages of one resource slot per
+    /// iteration can ever fit: used by ResMII-style feasibility checks.
+    pub fn num_slots(&self) -> usize {
+        self.owner.len()
+    }
+}
+
+impl ContentionQuery for ModuloDiscreteModule {
+    fn check(&mut self, op: OpId, cycle: u32) -> bool {
+        self.counters.check.calls += 1;
+        // An op whose table is longer than II may self-overlap across
+        // iterations (two usages of one resource in cycles c ≡ c' mod II
+        // hit the same slot); such ops can never be placed under this II.
+        if !self.fits[op.index()] {
+            return false;
+        }
+        for &(r, c) in self.compiled.of(op) {
+            self.counters.check.units += 1;
+            if self.owner[self.slot(r, cycle, c)].is_some() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        self.counters.assign.calls += 1;
+        for &(r, c) in self.compiled.of(op) {
+            self.counters.assign.units += 1;
+            let s = self.slot(r, cycle, c);
+            debug_assert!(self.owner[s].is_none(), "assign over a reservation");
+            self.owner[s] = Some(inst);
+        }
+        self.registry.insert(inst, op, cycle);
+    }
+
+    fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
+        self.counters.assign_free.calls += 1;
+        let mut evicted = Vec::new();
+        for ui in 0..self.compiled.of(op).len() {
+            let (r, c) = self.compiled.of(op)[ui];
+            self.counters.assign_free.units += 1;
+            let s = self.slot(r, cycle, c);
+            if let Some(holder) = self.owner[s] {
+                if holder != inst {
+                    let (hop, hcycle) = self
+                        .registry
+                        .remove(holder)
+                        .expect("owner entries track registered instances");
+                    for &(hr, hc) in self.compiled.of(hop) {
+                        self.counters.assign_free.units += 1;
+                        let hs = self.slot(hr, hcycle, hc);
+                        self.owner[hs] = None;
+                    }
+                    evicted.push(holder);
+                }
+            }
+            self.owner[s] = Some(inst);
+        }
+        self.registry.insert(inst, op, cycle);
+        evicted
+    }
+
+    fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        self.counters.free.calls += 1;
+        let removed = self.registry.remove(inst);
+        debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
+        for &(r, c) in self.compiled.of(op) {
+            self.counters.free.units += 1;
+            let s = self.slot(r, cycle, c);
+            debug_assert_eq!(self.owner[s], Some(inst), "free of foreign reservation");
+            self.owner[s] = None;
+        }
+    }
+
+    fn counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    fn reset(&mut self) {
+        self.owner.fill(None);
+        self.registry.clear();
+        self.counters.reset();
+    }
+
+    fn num_scheduled(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+/// Bitvector-representation modulo reservation table.
+///
+/// The II slots are packed `k` cycle-bitvectors per word
+/// (`ceil(II / k)` words). Because a reservation wraps around the table,
+/// the word masks of an operation depend on its issue slot modulo II;
+/// they are compiled lazily, once per distinct issue slot.
+#[derive(Clone, Debug)]
+pub struct ModuloBitvecModule {
+    usages: CompiledUsages,
+    layout: WordLayout,
+    ii: u32,
+    words: Vec<u64>,
+    /// Lazily compiled masks: `masks[op][cycle mod ii]`.
+    masks: Vec<Vec<Option<Vec<(u32, u64)>>>>,
+    fits: Vec<bool>,
+    owner: Option<Vec<Option<OpInstance>>>,
+    registry: Registry,
+    counters: WorkCounters,
+}
+
+impl ModuloBitvecModule {
+    /// Creates an empty modulo reservation table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0` or a word cannot hold `layout.k`
+    /// cycle-bitvectors of this machine.
+    pub fn new(machine: &MachineDescription, ii: u32, layout: WordLayout) -> Self {
+        assert!(ii > 0, "initiation interval must be positive");
+        let usages = CompiledUsages::new(machine);
+        let nr = usages.num_resources as u32;
+        assert!(
+            layout.k >= 1 && layout.k * nr <= 64,
+            "k={} cycles of {nr} resources exceed a 64-bit word",
+            layout.k
+        );
+        let nwords = (ii as usize).div_ceil(layout.k as usize);
+        let nops = usages.usages.len();
+        let fits = compute_fits(&usages, ii);
+        ModuloBitvecModule {
+            usages,
+            layout,
+            ii,
+            words: vec![0; nwords],
+            masks: vec![vec![None; ii as usize]; nops],
+            fits,
+            owner: None,
+            registry: Registry::new(),
+            counters: WorkCounters::new(),
+        }
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Whether the module has transitioned to update mode.
+    pub fn in_update_mode(&self) -> bool {
+        self.owner.is_some()
+    }
+
+    /// Whether `op` is placeable at all under this II (see
+    /// [`ModuloDiscreteModule::fits`]).
+    pub fn fits(&self, op: OpId) -> bool {
+        self.fits[op.index()]
+    }
+
+    fn mask_for(&mut self, op: OpId, slot: u32) -> &[(u32, u64)] {
+        let entry = &mut self.masks[op.index()][slot as usize];
+        if entry.is_none() {
+            let k = self.layout.k;
+            let nr = self.usages.num_resources as u32;
+            let mut words: Vec<(u32, u64)> = Vec::new();
+            for &(r, c) in self.usages.of(op) {
+                let s = ((slot as u64 + c as u64) % self.ii as u64) as u32;
+                let w = s / k;
+                let bit = (s % k) * nr + r;
+                match words.binary_search_by_key(&w, |&(wo, _)| wo) {
+                    Ok(i) => words[i].1 |= 1u64 << bit,
+                    Err(i) => words.insert(i, (w, 1u64 << bit)),
+                }
+            }
+            *entry = Some(words);
+        }
+        entry.as_ref().expect("just filled").as_slice()
+    }
+
+    fn transition_to_update(&mut self) {
+        let nr = self.usages.num_resources;
+        let ii = self.ii as u64;
+        let mut owner = vec![None; self.ii as usize * nr];
+        let mut scanned = 0u64;
+        for (inst, op, cycle) in self.registry.iter() {
+            for &(r, c) in self.usages.of(op) {
+                scanned += 1;
+                let s = ((cycle as u64 + c as u64) % ii) as usize * nr + r as usize;
+                owner[s] = Some(inst);
+            }
+        }
+        self.counters.assign_free.units += scanned;
+        self.counters.transitions += 1;
+        self.owner = Some(owner);
+    }
+
+    #[inline]
+    fn flag_pos(&self, r: u32, cycle: u32, c: u32) -> (usize, u64) {
+        let s = ((cycle as u64 + c as u64) % self.ii as u64) as u32;
+        let k = self.layout.k;
+        let bit = (s % k) * self.usages.num_resources as u32 + r;
+        ((s / k) as usize, 1u64 << bit)
+    }
+}
+
+impl ContentionQuery for ModuloBitvecModule {
+    fn check(&mut self, op: OpId, cycle: u32) -> bool {
+        self.counters.check.calls += 1;
+        if !self.fits[op.index()] {
+            return false;
+        }
+        let slot = cycle % self.ii;
+        let n = self.mask_for(op, slot).len();
+        for i in 0..n {
+            self.counters.check.units += 1;
+            let (w, m) = self.masks[op.index()][slot as usize]
+                .as_ref()
+                .expect("compiled")[i];
+            if self.words[w as usize] & m != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        self.counters.assign.calls += 1;
+        let slot = cycle % self.ii;
+        let n = self.mask_for(op, slot).len();
+        for i in 0..n {
+            self.counters.assign.units += 1;
+            let (w, m) = self.masks[op.index()][slot as usize]
+                .as_ref()
+                .expect("compiled")[i];
+            debug_assert_eq!(self.words[w as usize] & m, 0, "assign over a reservation");
+            self.words[w as usize] |= m;
+        }
+        if self.owner.is_some() {
+            for i in 0..self.usages.of(op).len() {
+                let (r, c) = self.usages.of(op)[i];
+                let nr = self.usages.num_resources;
+                let s = ((cycle as u64 + c as u64) % self.ii as u64) as usize * nr + r as usize;
+                self.owner.as_mut().expect("update mode")[s] = Some(inst);
+            }
+        }
+        self.registry.insert(inst, op, cycle);
+    }
+
+    fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
+        self.counters.assign_free.calls += 1;
+        let slot = cycle % self.ii;
+
+        if self.owner.is_none() {
+            let n = self.mask_for(op, slot).len();
+            let mut conflict = false;
+            for i in 0..n {
+                self.counters.assign_free.units += 1;
+                let (w, m) = self.masks[op.index()][slot as usize]
+                    .as_ref()
+                    .expect("compiled")[i];
+                if self.words[w as usize] & m != 0 {
+                    conflict = true;
+                    break;
+                }
+            }
+            if !conflict {
+                for i in 0..n {
+                    let (w, m) = self.masks[op.index()][slot as usize]
+                        .as_ref()
+                        .expect("compiled")[i];
+                    self.words[w as usize] |= m;
+                }
+                self.registry.insert(inst, op, cycle);
+                return Vec::new();
+            }
+            self.transition_to_update();
+        }
+
+        let nr = self.usages.num_resources;
+        let ii = self.ii as u64;
+        let mut evicted = Vec::new();
+        for ui in 0..self.usages.of(op).len() {
+            let (r, c) = self.usages.of(op)[ui];
+            self.counters.assign_free.units += 1;
+            let s = ((cycle as u64 + c as u64) % ii) as usize * nr + r as usize;
+            let holder = self.owner.as_ref().expect("update mode")[s];
+            if let Some(holder) = holder {
+                if holder != inst {
+                    let (hop, hcycle) = self
+                        .registry
+                        .remove(holder)
+                        .expect("owner entries track registered instances");
+                    for hj in 0..self.usages.of(hop).len() {
+                        let (hr, hc) = self.usages.of(hop)[hj];
+                        self.counters.assign_free.units += 1;
+                        let hs = ((hcycle as u64 + hc as u64) % ii) as usize * nr + hr as usize;
+                        self.owner.as_mut().expect("update mode")[hs] = None;
+                        let (w, m) = self.flag_pos(hr, hcycle, hc);
+                        self.words[w] &= !m;
+                    }
+                    evicted.push(holder);
+                }
+            }
+            self.owner.as_mut().expect("update mode")[s] = Some(inst);
+            let (w, m) = self.flag_pos(r, cycle, c);
+            self.words[w] |= m;
+        }
+        self.registry.insert(inst, op, cycle);
+        evicted
+    }
+
+    fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        self.counters.free.calls += 1;
+        let removed = self.registry.remove(inst);
+        debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
+        let slot = cycle % self.ii;
+        let n = self.mask_for(op, slot).len();
+        for i in 0..n {
+            self.counters.free.units += 1;
+            let (w, m) = self.masks[op.index()][slot as usize]
+                .as_ref()
+                .expect("compiled")[i];
+            debug_assert_eq!(self.words[w as usize] & m, m, "free of unreserved bits");
+            self.words[w as usize] &= !m;
+        }
+        if self.owner.is_some() {
+            let nr = self.usages.num_resources;
+            for i in 0..self.usages.of(op).len() {
+                let (r, c) = self.usages.of(op)[i];
+                let s = ((cycle as u64 + c as u64) % self.ii as u64) as usize * nr + r as usize;
+                self.owner.as_mut().expect("update mode")[s] = None;
+            }
+        }
+    }
+
+    fn counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    fn reset(&mut self) {
+        self.words.fill(0);
+        self.owner = None;
+        self.registry.clear();
+        self.counters.reset();
+    }
+
+    fn num_scheduled(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::models::example_machine;
+
+    fn ops() -> (rmd_machine::MachineDescription, OpId, OpId) {
+        let m = example_machine();
+        let a = m.op_by_name("A").unwrap();
+        let b = m.op_by_name("B").unwrap();
+        (m, a, b)
+    }
+
+    #[test]
+    fn modulo_wraps_conflicts() {
+        let (m, a, b) = ops();
+        let mut q = ModuloDiscreteModule::new(&m, 5);
+        q.assign(OpInstance(0), b, 0);
+        // F[A][B] = {-1}: A one cycle *before* B conflicts, and in a
+        // modulo schedule with II=5 that wraps to slots ≡ 4 (mod 5).
+        assert!(!q.check(a, 4));
+        assert!(!q.check(a, 9));
+        assert!(q.check(a, 2));
+        assert!(q.check(a, 6));
+    }
+
+    #[test]
+    fn self_overlap_rejected_when_ii_too_small() {
+        let (m, _, b) = ops();
+        // B uses mul-stage in cycles 2..=5; with II=2 cycles 2 and 4
+        // collapse to one slot: B can never be scheduled.
+        let mut q = ModuloDiscreteModule::new(&m, 2);
+        assert!(!q.check(b, 0));
+        let mut q = ModuloBitvecModule::new(&m, 2, WordLayout::with_k(64, 2));
+        assert!(!q.check(b, 0));
+        // II=4 works (cycles 2..=5 hit 4 distinct slots).
+        let mut q = ModuloDiscreteModule::new(&m, 4);
+        assert!(q.check(b, 0));
+    }
+
+    #[test]
+    fn discrete_and_bitvec_agree_across_slots() {
+        let (m, a, b) = ops();
+        for ii in [4u32, 5, 7, 9] {
+            for k in [1u32, 2, 4] {
+                let mut d = ModuloDiscreteModule::new(&m, ii);
+                let mut v = ModuloBitvecModule::new(&m, ii, WordLayout::with_k(64, k));
+                if d.check(b, 2) {
+                    d.assign(OpInstance(0), b, 2);
+                    v.assign(OpInstance(0), b, 2);
+                }
+                for t in 0..(2 * ii) {
+                    assert_eq!(d.check(a, t), v.check(a, t), "ii={ii} k={k} a@{t}");
+                    assert_eq!(d.check(b, t), v.check(b, t), "ii={ii} k={k} b@{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_assign_free_evicts_across_wrap() {
+        let (m, _, b) = ops();
+        let mut q = ModuloDiscreteModule::new(&m, 8);
+        q.assign(OpInstance(0), b, 0);
+        // B at slot 4: B's table is 8 long, wraps; conflicts with inst0?
+        // F[B][B] = {±1..3}: modulo 8, latency 4 ∉ F: fits.
+        assert!(q.check(b, 4));
+        q.assign(OpInstance(1), b, 4);
+        // A third B must evict both.
+        let mut e = q.assign_free(OpInstance(2), b, 2);
+        e.sort();
+        assert_eq!(e, vec![OpInstance(0), OpInstance(1)]);
+        assert_eq!(q.num_scheduled(), 1);
+    }
+
+    #[test]
+    fn bitvec_modulo_transition_and_free() {
+        let (m, _, b) = ops();
+        let mut q = ModuloBitvecModule::new(&m, 8, WordLayout::with_k(64, 4));
+        q.assign_free(OpInstance(0), b, 0);
+        assert!(!q.in_update_mode());
+        let e = q.assign_free(OpInstance(1), b, 1);
+        assert_eq!(e, vec![OpInstance(0)]);
+        assert!(q.in_update_mode());
+        assert_eq!(q.counters().transitions, 1);
+        q.free(OpInstance(1), b, 1);
+        assert_eq!(q.num_scheduled(), 0);
+        assert!(q.check(b, 0));
+    }
+
+    #[test]
+    fn free_then_reuse_slot() {
+        let (m, a, _) = ops();
+        let mut q = ModuloBitvecModule::new(&m, 3, WordLayout::with_k(64, 2));
+        q.assign(OpInstance(0), a, 1);
+        assert!(!q.check(a, 4)); // same slot mod 3
+        q.free(OpInstance(0), a, 1);
+        assert!(q.check(a, 4));
+    }
+}

@@ -1,0 +1,88 @@
+//! Scheduled-instance bookkeeping shared by the query modules.
+
+use core::fmt;
+use rmd_machine::OpId;
+use std::collections::HashMap;
+
+/// Identifies one scheduled *instance* of an operation within a partial
+/// schedule. Instance ids are chosen by the scheduler (e.g. the index of
+/// the operation in the dependence graph) and must be unique among
+/// currently scheduled instances.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpInstance(pub u32);
+
+impl OpInstance {
+    /// Returns the id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for OpInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+impl fmt::Display for OpInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// Tracks which instances are currently scheduled, with their operation
+/// and issue cycle. The bitvector module's optimistic→update transition
+/// scans this list to reconstruct owner fields.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Registry {
+    live: HashMap<OpInstance, (OpId, u32)>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        let prev = self.live.insert(inst, (op, cycle));
+        debug_assert!(prev.is_none(), "instance {inst} scheduled twice");
+    }
+
+    pub fn remove(&mut self, inst: OpInstance) -> Option<(OpId, u32)> {
+        self.live.remove(&inst)
+    }
+
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (OpInstance, OpId, u32)> + '_ {
+        self.live.iter().map(|(&i, &(op, c))| (i, op, c))
+    }
+
+    pub fn clear(&mut self) {
+        self.live.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = Registry::new();
+        r.insert(OpInstance(3), OpId(1), 7);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.remove(OpInstance(3)), Some((OpId(1), 7)));
+        assert_eq!(r.remove(OpInstance(3)), None);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn instance_display() {
+        assert_eq!(OpInstance(4).to_string(), "inst4");
+        assert_eq!(format!("{:?}", OpInstance(4)), "inst4");
+    }
+}

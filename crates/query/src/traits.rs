@@ -1,0 +1,71 @@
+//! The common interface of all contention query modules.
+
+use crate::counters::WorkCounters;
+use crate::registry::OpInstance;
+use rmd_machine::OpId;
+
+/// The query interface of paper §7: `check`, `assign`, `assign&free`,
+/// and `free`, over either a linear schedule or a modulo reservation
+/// table.
+///
+/// All cycles are nonnegative; modulo modules interpret them mod II.
+/// `assign` and `assign&free` are mutually exclusive within one partial
+/// schedule (the latter relies on owner fields the former does not
+/// maintain in the bitvector representation) — mirroring the paper's
+/// note; in this implementation `assign` is safe to mix as long as
+/// `assign_free` is never asked to evict an `assign`ed instance that was
+/// never registered. The provided modules register every instance, so
+/// mixing works and the restriction is purely a performance-model one.
+pub trait ContentionQuery {
+    /// Can `op` issue in `cycle` without resource contention?
+    fn check(&mut self, op: OpId, cycle: u32) -> bool;
+
+    /// Reserves the resources of `op` issued at `cycle` for `inst`.
+    ///
+    /// The caller is expected to have `check`ed first; reserving over an
+    /// existing reservation is a logic error that debug builds catch.
+    fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32);
+
+    /// Reserves the resources of `op` issued at `cycle` for `inst`,
+    /// first unscheduling every instance that holds any of them. Returns
+    /// the evicted instances (possibly empty).
+    fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance>;
+
+    /// Releases the resources of `inst` (which must be `op` at `cycle`).
+    fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32);
+
+    /// The accumulated work counters.
+    fn counters(&self) -> &WorkCounters;
+
+    /// Clears the partial schedule and the counters.
+    fn reset(&mut self);
+
+    /// Number of currently scheduled instances.
+    fn num_scheduled(&self) -> usize;
+
+    /// Finds the first contention-free cycle for `op` in
+    /// `[from, from + window)`, issuing one `check` per probed cycle —
+    /// the slot-search idiom of every scheduler in this workspace.
+    fn find_first_free(&mut self, op: OpId, from: u32, window: u32) -> Option<u32> {
+        (from..from.saturating_add(window)).find(|&t| self.check(op, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::DiscreteModule;
+    use rmd_machine::models::example_machine;
+
+    #[test]
+    fn find_first_free_scans_the_window() {
+        let m = example_machine();
+        let b = m.op_by_name("B").unwrap();
+        let mut q = DiscreteModule::new(&m);
+        q.assign(OpInstance(0), b, 0);
+        // 1..=3 conflict (F[B][B]); 4 is the first free cycle.
+        assert_eq!(q.find_first_free(b, 1, 10), Some(4));
+        assert_eq!(q.find_first_free(b, 1, 3), None);
+        assert_eq!(q.counters().check.calls, 3 + 4);
+    }
+}

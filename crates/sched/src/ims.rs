@@ -1,0 +1,608 @@
+//! Rau's Iterative Modulo Scheduler (MICRO-27, 1994) — the paper's §8
+//! evaluation harness.
+
+use crate::graph::{DepGraph, NodeId};
+use crate::mii;
+use core::fmt;
+use rmd_machine::alternatives::AltGroups;
+use rmd_machine::{MachineDescription, OpId};
+use rmd_query::{
+    ContentionQuery, ModuloBitvecModule, ModuloDiscreteModule, OpInstance, WordLayout,
+    WorkCounters,
+};
+use std::collections::BinaryHeap;
+
+/// Which internal representation the contention query module uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Representation {
+    /// Discrete reserved table with owner fields.
+    Discrete,
+    /// Bitvector reserved table with the given word layout.
+    Bitvec(WordLayout),
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ImsConfig {
+    /// Budget of scheduling decisions per attempt, as a multiple of the
+    /// number of operations (the paper uses 6N, and reports 2N for
+    /// comparison).
+    pub budget_ratio: f64,
+    /// Give up if no schedule is found at II ≤ `max_ii`.
+    pub max_ii: u32,
+}
+
+impl Default for ImsConfig {
+    fn default() -> Self {
+        ImsConfig {
+            budget_ratio: 6.0,
+            max_ii: 4096,
+        }
+    }
+}
+
+/// Why scheduling failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ImsError {
+    /// Budget exhausted at every II up to the configured maximum.
+    NoFeasibleIi {
+        /// The maximum II tried.
+        max_ii: u32,
+    },
+}
+
+impl fmt::Display for ImsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImsError::NoFeasibleIi { max_ii } => {
+                write!(f, "no modulo schedule found for any II ≤ {max_ii}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImsError {}
+
+/// A successful modulo schedule plus the statistics the paper reports
+/// (Tables 5 and 6).
+#[derive(Clone, Debug)]
+pub struct ImsResult {
+    /// Issue time per node (within the flat iteration timeline; reduce
+    /// mod [`ii`](Self::ii) for the kernel slot).
+    pub times: Vec<u32>,
+    /// The operation actually placed per node — differs from the graph's
+    /// base operation when alternatives were in play
+    /// (see [`IterativeModuloScheduler::schedule_with_alternatives`]).
+    pub chosen: Vec<OpId>,
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// The lower bound `max(ResMII, RecMII)`.
+    pub mii: u32,
+    /// Total scheduling decisions (placements) over all attempts.
+    pub decisions: u64,
+    /// Scheduling decisions reversed because of resource contentions
+    /// (evictions by `assign&free`).
+    pub reversed_by_resource: u64,
+    /// Scheduling decisions reversed because a dependence constraint was
+    /// violated by a forced placement.
+    pub reversed_by_dependence: u64,
+    /// Number of scheduling attempts (II values tried).
+    pub attempts: u32,
+    /// `decisions / N` for each attempt, including failed ones — the
+    /// paper's Table 5 "sched. decisions / operation" statistic.
+    pub per_attempt_ratio: Vec<f64>,
+    /// Query-module work counters merged over all attempts.
+    pub counters: WorkCounters,
+}
+
+impl ImsResult {
+    /// `II / MII` — 1.0 means a provably optimal-throughput schedule.
+    pub fn ii_ratio(&self) -> f64 {
+        f64::from(self.ii) / f64::from(self.mii)
+    }
+}
+
+/// The Iterative Modulo Scheduler: height-based priority, a slot search
+/// over one II window, forced placement with `assign&free` eviction when
+/// the window is full, and a bounded budget of decisions per II.
+///
+/// This is an *unrestricted* scheduler in the paper's sense: operations
+/// are processed in priority (not cycle) order, and prior placements are
+/// reversed both by resource eviction and by dependence violation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterativeModuloScheduler {
+    config: ImsConfig,
+}
+
+impl IterativeModuloScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: ImsConfig) -> Self {
+        IterativeModuloScheduler { config }
+    }
+
+    /// Schedules `g` on `machine` (original or reduced — they produce
+    /// identical schedules, which is the point of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImsError::NoFeasibleIi`] if the budget is exhausted at
+    /// every II up to `config.max_ii`.
+    pub fn schedule(
+        &self,
+        g: &DepGraph,
+        machine: &MachineDescription,
+        repr: Representation,
+    ) -> Result<ImsResult, ImsError> {
+        self.schedule_with_mii(g, machine, repr, mii::mii(g, machine))
+    }
+
+    /// Like [`schedule`](Self::schedule), but starting the II search at a
+    /// caller-supplied MII. Used to compare machine descriptions: the
+    /// MII computed from the *original* description keeps the search
+    /// trajectory — and therefore the resulting schedule — identical when
+    /// querying against a *reduced* description (the paper's "precisely
+    /// the same schedules were produced regardless of the machine
+    /// description" check).
+    pub fn schedule_with_mii(
+        &self,
+        g: &DepGraph,
+        machine: &MachineDescription,
+        repr: Representation,
+        mii: u32,
+    ) -> Result<ImsResult, ImsError> {
+        self.schedule_inner(g, machine, repr, mii, None)
+    }
+
+    /// Like [`schedule_with_mii`](Self::schedule_with_mii), additionally
+    /// resolving each node's operation through its alternatives
+    /// (paper §7's `check-with-alt`): the slot search tries the base
+    /// operation first and falls through to any contention-free
+    /// alternative, so e.g. generic loads spread across the Cydra's two
+    /// memory ports automatically. The chosen alternatives are reported
+    /// in [`ImsResult::chosen`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImsError::NoFeasibleIi`] as for
+    /// [`schedule`](Self::schedule).
+    pub fn schedule_with_alternatives(
+        &self,
+        g: &DepGraph,
+        machine: &MachineDescription,
+        groups: &AltGroups,
+        repr: Representation,
+        mii: u32,
+    ) -> Result<ImsResult, ImsError> {
+        self.schedule_inner(g, machine, repr, mii, Some(groups))
+    }
+
+    fn schedule_inner(
+        &self,
+        g: &DepGraph,
+        machine: &MachineDescription,
+        repr: Representation,
+        mii: u32,
+        groups: Option<&AltGroups>,
+    ) -> Result<ImsResult, ImsError> {
+        let n = g.num_nodes();
+        let budget_total = ((self.config.budget_ratio * n as f64).ceil() as u64).max(1);
+
+        let mut counters = WorkCounters::new();
+        let mut decisions_total = 0u64;
+        let mut reversed_by_resource = 0u64;
+        let mut reversed_by_dependence = 0u64;
+        let mut per_attempt_ratio = Vec::new();
+        let mut attempts = 0u32;
+
+        let mut ii = mii;
+        while ii <= self.config.max_ii {
+            attempts += 1;
+            let mut module: Box<dyn ContentionQuery> = match repr {
+                Representation::Discrete => Box::new(ModuloDiscreteModule::new(machine, ii)),
+                Representation::Bitvec(layout) => {
+                    Box::new(ModuloBitvecModule::new(machine, ii, layout))
+                }
+            };
+            let outcome = self.attempt(g, ii, budget_total, module.as_mut(), groups);
+            counters.merge(module.counters());
+            decisions_total += outcome.decisions;
+            reversed_by_resource += outcome.reversed_by_resource;
+            reversed_by_dependence += outcome.reversed_by_dependence;
+            per_attempt_ratio.push(outcome.decisions as f64 / n as f64);
+            if let Some((times, chosen)) = outcome.times {
+                return Ok(ImsResult {
+                    times,
+                    chosen,
+                    ii,
+                    mii,
+                    decisions: decisions_total,
+                    reversed_by_resource,
+                    reversed_by_dependence,
+                    attempts,
+                    per_attempt_ratio,
+                    counters,
+                });
+            }
+            ii += 1;
+        }
+        Err(ImsError::NoFeasibleIi {
+            max_ii: self.config.max_ii,
+        })
+    }
+
+    fn attempt(
+        &self,
+        g: &DepGraph,
+        ii: u32,
+        budget: u64,
+        module: &mut dyn ContentionQuery,
+        groups: Option<&AltGroups>,
+    ) -> AttemptOutcome {
+        let n = g.num_nodes();
+        let height = heights(g, ii);
+        let mut time: Vec<Option<u32>> = vec![None; n];
+        let mut chosen: Vec<OpId> = g.nodes().map(|v| g.op(v)).collect();
+        let mut prev_time: Vec<Option<u32>> = vec![None; n];
+        // Max-heap on (height, reverse node id) for determinism.
+        let mut queue: BinaryHeap<(i64, core::cmp::Reverse<u32>)> = g
+            .nodes()
+            .map(|v| (height[v.index()], core::cmp::Reverse(v.0)))
+            .collect();
+        let mut queued = vec![true; n];
+
+        let mut decisions = 0u64;
+        let mut reversed_by_resource = 0u64;
+        let mut reversed_by_dependence = 0u64;
+
+        while let Some((_, core::cmp::Reverse(vid))) = queue.pop() {
+            let v = NodeId(vid);
+            if !queued[v.index()] {
+                continue; // stale entry
+            }
+            if decisions >= budget {
+                return AttemptOutcome {
+                    times: None,
+                    decisions,
+                    reversed_by_resource,
+                    reversed_by_dependence,
+                };
+            }
+            queued[v.index()] = false;
+
+            // Earliest start from *scheduled* predecessors.
+            let mut estart = 0i64;
+            for e in g.pred_edges(v) {
+                if let Some(tu) = time[e.from.index()] {
+                    let c = i64::from(tu) + i64::from(e.delay)
+                        - i64::from(ii) * i64::from(e.distance);
+                    estart = estart.max(c);
+                }
+            }
+            let min_t = estart as u32;
+            let max_t = min_t + ii - 1;
+
+            // Slot search within one II window; with alternatives, any
+            // contention-free alternative of the base op wins the slot.
+            let base = g.op(v);
+            let mut found: Option<(u32, OpId)> = None;
+            for t in min_t..=max_t {
+                let hit = match groups {
+                    None => module.check(base, t).then_some(base),
+                    Some(gr) => rmd_query::check_with_alt(module, gr, base, t),
+                };
+                if let Some(op) = hit {
+                    found = Some((t, op));
+                    break;
+                }
+            }
+            // Forced placement when the window is full (Rau: estart if
+            // never scheduled or estart > prev + 1; else prev + 1); the
+            // base operation is forced, evicting whatever holds it.
+            let (t, op) = found.unwrap_or_else(|| {
+                let t = match prev_time[v.index()] {
+                    Some(prev) if min_t <= prev + 1 => prev + 1,
+                    _ => min_t,
+                };
+                (t, base)
+            });
+            chosen[v.index()] = op;
+
+            decisions += 1;
+            let evicted = module.assign_free(OpInstance(v.0), op, t);
+            time[v.index()] = Some(t);
+            prev_time[v.index()] = Some(t);
+            for inst in evicted {
+                let w = NodeId(inst.0);
+                time[w.index()] = None;
+                reversed_by_resource += 1;
+                if !queued[w.index()] {
+                    queued[w.index()] = true;
+                    queue.push((height[w.index()], core::cmp::Reverse(w.0)));
+                }
+            }
+
+            // Unschedule successors whose dependence constraints the new
+            // placement violates.
+            for e in g.succ_edges(v) {
+                let w = e.to;
+                if w == v {
+                    continue;
+                }
+                if let Some(tw) = time[w.index()] {
+                    let lb = i64::from(t) + i64::from(e.delay)
+                        - i64::from(ii) * i64::from(e.distance);
+                    if i64::from(tw) < lb {
+                        module.free(OpInstance(w.0), chosen[w.index()], tw);
+                        time[w.index()] = None;
+                        reversed_by_dependence += 1;
+                        if !queued[w.index()] {
+                            queued[w.index()] = true;
+                            queue.push((height[w.index()], core::cmp::Reverse(w.0)));
+                        }
+                    }
+                }
+            }
+        }
+
+        AttemptOutcome {
+            times: Some((
+                time.into_iter().map(|t| t.expect("all scheduled")).collect(),
+                chosen,
+            )),
+            decisions,
+            reversed_by_resource,
+            reversed_by_dependence,
+        }
+    }
+}
+
+struct AttemptOutcome {
+    times: Option<(Vec<u32>, Vec<OpId>)>,
+    decisions: u64,
+    reversed_by_resource: u64,
+    reversed_by_dependence: u64,
+}
+
+/// Height-based priority (Rau's HeightR): the longest dependence path
+/// from each node onward under `w(e) = delay − II · distance`, computed
+/// by relaxation (no positive circuit exists for II ≥ RecMII).
+fn heights(g: &DepGraph, ii: u32) -> Vec<i64> {
+    let n = g.num_nodes();
+    let mut h = vec![0i64; n];
+    for _ in 0..=n {
+        let mut changed = false;
+        for e in g.edges() {
+            let w = i64::from(e.delay) - i64::from(ii) * i64::from(e.distance);
+            let cand = h[e.to.index()] + w;
+            if cand > h[e.from.index()] {
+                h[e.from.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DepKind;
+    use crate::validate::validate;
+    use rmd_machine::models::cydra5_subset;
+
+    fn chain(m: &MachineDescription, names: &[&str], delay: i32) -> DepGraph {
+        let mut g = DepGraph::new();
+        let nodes: Vec<_> = names
+            .iter()
+            .map(|n| g.add_node(m.op_by_name(n).unwrap()))
+            .collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], delay, 0, DepKind::Flow);
+        }
+        g
+    }
+
+    #[test]
+    fn schedules_simple_chain_at_mii() {
+        let m = cydra5_subset();
+        let g = chain(&m, &["load.w.0", "fadd", "store.w.0"], 8);
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        for repr in [
+            Representation::Discrete,
+            Representation::Bitvec(WordLayout::widest(64, m.num_resources())),
+        ] {
+            let r = ims.schedule(&g, &m, repr).unwrap();
+            assert_eq!(r.ii, r.mii, "{repr:?}");
+            validate(&g, &m, &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn recurrence_bounds_ii() {
+        let m = cydra5_subset();
+        let fadd = m.op_by_name("fadd").unwrap();
+        let mut g = DepGraph::new();
+        let a = g.add_node(fadd);
+        let b = g.add_node(fadd);
+        g.add_edge(a, b, 7, 0, DepKind::Flow);
+        g.add_edge(b, a, 7, 1, DepKind::Flow); // delay 14, distance 1
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        let r = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+        assert_eq!(r.mii, 14);
+        assert_eq!(r.ii, 14);
+        validate(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn resource_pressure_forces_ii() {
+        let m = cydra5_subset();
+        // 4 independent fadds: fadd_in is used once per op -> ResMII 4.
+        let fadd = m.op_by_name("fadd").unwrap();
+        let mut g = DepGraph::new();
+        for _ in 0..4 {
+            g.add_node(fadd);
+        }
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        let r = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+        assert!(r.mii >= 4);
+        assert_eq!(r.ii, r.mii);
+        validate(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn identical_schedules_across_representations() {
+        // The paper verified "precisely the same schedules were produced
+        // regardless of the machine description used" — representations
+        // must agree too, given the same deterministic scheduler.
+        let m = cydra5_subset();
+        let g = chain(
+            &m,
+            &["load.w.0", "load.w.1", "fmul", "fadd", "store.w.1"],
+            5,
+        );
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        let a = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+        let b = ims
+            .schedule(
+                &g,
+                &m,
+                Representation::Bitvec(WordLayout::widest(64, m.num_resources())),
+            )
+            .unwrap();
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.ii, b.ii);
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn budget_statistics_are_recorded() {
+        let m = cydra5_subset();
+        let g = chain(&m, &["load.w.0", "fadd", "store.w.0"], 8);
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        let r = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+        assert!(r.decisions >= g.num_nodes() as u64);
+        assert_eq!(r.per_attempt_ratio.len(), r.attempts as usize);
+        assert!(r.counters.check.calls > 0);
+        assert!(r.counters.assign_free.calls >= r.decisions);
+        assert!((r.ii_ratio() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::graph::{DepGraph, DepKind};
+    use rmd_machine::MachineBuilder;
+
+    /// A machine where two op classes can never coexist in one II=1
+    /// kernel, so tiny max_ii forces failure.
+    fn contended() -> (MachineDescription, rmd_machine::OpId) {
+        let mut b = MachineBuilder::new("tight");
+        let r = b.resource("r");
+        b.operation("x").usage(r, 0).finish();
+        let m = b.build().unwrap();
+        let x = m.op_by_name("x").unwrap();
+        (m, x)
+    }
+
+    #[test]
+    fn max_ii_limit_yields_error() {
+        let (m, x) = contended();
+        let mut g = DepGraph::new();
+        for _ in 0..4 {
+            g.add_node(x); // ResMII = 4
+        }
+        let ims = IterativeModuloScheduler::new(ImsConfig {
+            budget_ratio: 6.0,
+            max_ii: 2, // below ResMII: the II loop never runs
+        });
+        let e = ims.schedule(&g, &m, Representation::Discrete).unwrap_err();
+        assert_eq!(e, ImsError::NoFeasibleIi { max_ii: 2 });
+        assert_eq!(e.to_string(), "no modulo schedule found for any II ≤ 2");
+    }
+
+    #[test]
+    fn single_node_loop_schedules_at_ii_one() {
+        let (m, x) = contended();
+        let mut g = DepGraph::new();
+        g.add_node(x);
+        let r = IterativeModuloScheduler::default()
+            .schedule(&g, &m, Representation::Discrete)
+            .unwrap();
+        assert_eq!(r.ii, 1);
+        assert_eq!(r.times, vec![0]);
+        assert_eq!(r.decisions, 1);
+        assert_eq!(r.attempts, 1);
+    }
+
+    #[test]
+    fn self_edge_constrains_but_schedules() {
+        let (m, x) = contended();
+        let mut g = DepGraph::new();
+        let n = g.add_node(x);
+        g.add_edge(n, n, 5, 1, DepKind::Flow); // RecMII 5
+        let r = IterativeModuloScheduler::default()
+            .schedule(&g, &m, Representation::Discrete)
+            .unwrap();
+        assert_eq!(r.mii, 5);
+        assert_eq!(r.ii, 5);
+        crate::validate(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn heights_match_brute_force_longest_path() {
+        // height(v) = max over paths from v of Σ(delay − II·distance),
+        // computed here by exhaustive DFS on a small graph with a
+        // recurrence (no positive circuit at feasible II).
+        let (m, x) = contended();
+        let _ = &m;
+        let mut g = DepGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(x)).collect();
+        g.add_edge(n[0], n[1], 3, 0, DepKind::Flow);
+        g.add_edge(n[1], n[2], 2, 0, DepKind::Flow);
+        g.add_edge(n[0], n[2], 4, 0, DepKind::Flow);
+        g.add_edge(n[2], n[3], 1, 0, DepKind::Flow);
+        g.add_edge(n[3], n[1], 2, 2, DepKind::Flow); // carried back edge
+        let ii = 4; // RecMII of the circuit (2+1+2)/2 = ceil(2.5) = 3
+        let h = heights(&g, ii);
+
+        fn dfs(g: &DepGraph, v: NodeId, ii: i64, depth: usize) -> i64 {
+            if depth > 16 {
+                return i64::MIN / 2; // circuit guard; weights make loops unprofitable
+            }
+            let mut best = 0;
+            for e in g.succ_edges(v) {
+                let w = i64::from(e.delay) - ii * i64::from(e.distance);
+                best = best.max(w + dfs(g, e.to, ii, depth + 1));
+            }
+            best
+        }
+        for v in g.nodes() {
+            assert_eq!(h[v.index()], dfs(&g, v, i64::from(ii), 0), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn zero_delay_dependences_allow_same_cycle() {
+        let mut b = MachineBuilder::new("two");
+        let r0 = b.resource("a");
+        let r1 = b.resource("b");
+        b.operation("x").usage(r0, 0).finish();
+        b.operation("y").usage(r1, 0).finish();
+        let m = b.build().unwrap();
+        let mut g = DepGraph::new();
+        let x = g.add_node(m.op_by_name("x").unwrap());
+        let y = g.add_node(m.op_by_name("y").unwrap());
+        g.add_edge(x, y, 0, 0, DepKind::Anti);
+        let r = IterativeModuloScheduler::default()
+            .schedule(&g, &m, Representation::Discrete)
+            .unwrap();
+        assert_eq!(r.ii, 1);
+        assert!(r.times[y.index()] >= r.times[x.index()]);
+        crate::validate(&g, &m, &r).unwrap();
+    }
+}

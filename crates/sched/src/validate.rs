@@ -1,0 +1,169 @@
+//! Independent schedule validation.
+//!
+//! Validation deliberately bypasses the query module: it re-simulates
+//! the schedule's resource usage directly from reservation tables, so a
+//! schedule produced with a *reduced* description can be validated
+//! against the *original* one — the end-to-end form of the paper's
+//! equivalence claim.
+
+use crate::graph::DepGraph;
+use crate::ims::ImsResult;
+use crate::list::ListResult;
+use core::fmt;
+use rmd_machine::MachineDescription;
+use std::collections::HashMap;
+
+/// A witness that a schedule is invalid.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A dependence `from → to` is violated.
+    DependenceViolated {
+        /// Source node index.
+        from: usize,
+        /// Sink node index.
+        to: usize,
+        /// Required minimum issue time of `to`.
+        required: i64,
+        /// Actual issue time of `to`.
+        actual: i64,
+    },
+    /// Two nodes reserve the same resource slot.
+    ResourceConflict {
+        /// First node index.
+        a: usize,
+        /// Second node index.
+        b: usize,
+        /// Resource index.
+        resource: u32,
+        /// The contended slot (modulo slot for modulo schedules,
+        /// absolute cycle otherwise).
+        slot: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::DependenceViolated {
+                from,
+                to,
+                required,
+                actual,
+            } => write!(
+                f,
+                "dependence n{from} -> n{to} violated: t = {actual} < required {required}"
+            ),
+            ScheduleError::ResourceConflict { a, b, resource, slot } => write!(
+                f,
+                "nodes n{a} and n{b} both reserve resource r{resource} in slot {slot}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Validates a modulo schedule against `machine` (typically the
+/// *original*, unreduced description).
+///
+/// # Errors
+///
+/// Returns the first [`ScheduleError`] found.
+pub fn validate(
+    g: &DepGraph,
+    machine: &MachineDescription,
+    result: &ImsResult,
+) -> Result<(), ScheduleError> {
+    let ii = i64::from(result.ii);
+    // Dependences: t(to) ≥ t(from) + delay − II · distance.
+    for e in g.edges() {
+        let tf = i64::from(result.times[e.from.index()]);
+        let tt = i64::from(result.times[e.to.index()]);
+        let required = tf + i64::from(e.delay) - ii * i64::from(e.distance);
+        if tt < required {
+            return Err(ScheduleError::DependenceViolated {
+                from: e.from.index(),
+                to: e.to.index(),
+                required,
+                actual: tt,
+            });
+        }
+    }
+    // Resources: every (resource, modulo slot) reserved at most once.
+    // Alternatives: the table that matters is the *chosen* operation's.
+    let mut taken: HashMap<(u32, u32), usize> = HashMap::new();
+    for v in g.nodes() {
+        let t = result.times[v.index()];
+        let table = machine.operation(result.chosen[v.index()]).table();
+        for u in table.usages() {
+            let slot = ((u64::from(t) + u64::from(u.cycle)) % result.ii as u64) as u32;
+            if let Some(&other) = taken.get(&(u.resource.0, slot)) {
+                return Err(ScheduleError::ResourceConflict {
+                    a: other,
+                    b: v.index(),
+                    resource: u.resource.0,
+                    slot,
+                });
+            }
+            taken.insert((u.resource.0, slot), v.index());
+        }
+    }
+    Ok(())
+}
+
+/// Validates an acyclic (list) schedule against `machine`: dependences
+/// with distance 0 and absolute-cycle resource exclusivity, including
+/// the dangling boundary reservations.
+///
+/// # Errors
+///
+/// Returns the first [`ScheduleError`] found.
+pub fn validate_list(
+    g: &DepGraph,
+    machine: &MachineDescription,
+    result: &ListResult,
+) -> Result<(), ScheduleError> {
+    for e in g.edges() {
+        debug_assert_eq!(e.distance, 0, "list schedules are acyclic");
+        let tf = i64::from(result.times[e.from.index()]);
+        let tt = i64::from(result.times[e.to.index()]);
+        let required = tf + i64::from(e.delay);
+        if tt < required {
+            return Err(ScheduleError::DependenceViolated {
+                from: e.from.index(),
+                to: e.to.index(),
+                required,
+                actual: tt,
+            });
+        }
+    }
+    let mut taken: HashMap<(u32, i64), usize> = HashMap::new();
+    let mut reserve = |node: usize,
+                       op: rmd_machine::OpId,
+                       t: i64|
+     -> Result<(), ScheduleError> {
+        let table = machine.operation(op).table();
+        for u in table.usages() {
+            let slot = t + i64::from(u.cycle);
+            if let Some(&other) = taken.get(&(u.resource.0, slot)) {
+                return Err(ScheduleError::ResourceConflict {
+                    a: other,
+                    b: node,
+                    resource: u.resource.0,
+                    slot: slot.max(0) as u32,
+                });
+            }
+            taken.insert((u.resource.0, slot), node);
+        }
+        Ok(())
+    };
+    for (i, b) in result.boundary.iter().enumerate() {
+        // Boundary ops use pseudo node indices beyond the graph.
+        reserve(g.num_nodes() + i, b.op, i64::from(b.issue_cycle))?;
+    }
+    for v in g.nodes() {
+        reserve(v.index(), g.op(v), i64::from(result.times[v.index()]))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Support library for the runnable examples.
+//!
+//! Each example is a standalone binary:
+//!
+//! ```text
+//! cargo run -p rmd-examples --bin quickstart
+//! cargo run -p rmd-examples --bin custom_machine
+//! cargo run -p rmd-examples --bin modulo_scheduling
+//! cargo run -p rmd-examples --bin automata_comparison
+//! cargo run -p rmd-examples --bin boundary_conditions
+//! ```
+
+/// Prints a section header used by all examples.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,118 @@
+//! The automata baseline must be *exact*: a cycle-ordered sequence of
+//! issues is accepted by the automaton iff direct reservation-table
+//! simulation accepts it — and factored automata must agree with the
+//! monolithic one.
+
+use proptest::prelude::*;
+use rmd_automata::{partition_resources, Automaton, Cursor, Direction, FactoredAutomata};
+use rmd_integration::{arb_machine_spec, build_single_issue_machine, Lcg};
+use rmd_machine::OpId;
+use rmd_query::{ContentionQuery, DiscreteModule, OpInstance};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn automaton_agrees_with_table_simulation(
+        spec in arb_machine_spec(4, 4, 4, 6),
+        seed in any::<u64>(),
+    ) {
+        let m = build_single_issue_machine(&spec);
+        let fsa = Automaton::build(&m, Direction::Forward, 1 << 18).expect("small machine");
+        let mut cur = Cursor::new(&fsa);
+        let mut tables = DiscreteModule::new(&m);
+        let mut rng = Lcg(seed);
+        let mut inst = 0u32;
+        let mut cycle = 0u32;
+        for _ in 0..60 {
+            if rng.below(3) == 0 {
+                cycle += 1;
+                cur.advance_to(cycle);
+            }
+            let op = OpId(rng.below(m.num_operations() as u64) as u32);
+            let a = cur.can_issue(op);
+            let b = tables.check(op, cycle);
+            prop_assert_eq!(a, b, "cycle {}: {:?}", cycle, op);
+            if a {
+                cur.try_issue(op);
+                tables.assign(OpInstance(inst), op, cycle);
+                inst += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn factored_automata_agree_with_monolithic(
+        spec in arb_machine_spec(4, 4, 4, 6),
+        groups in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let m = build_single_issue_machine(&spec);
+        let mono = Automaton::build(&m, Direction::Forward, 1 << 18).expect("small");
+        let p = partition_resources(&m, groups);
+        let fact = FactoredAutomata::build(&m, Direction::Forward, &p, 1 << 18).expect("small");
+        let mut ms = mono.start();
+        let mut fs = fact.start();
+        let mut rng = Lcg(seed);
+        for _ in 0..60 {
+            if rng.below(3) == 0 {
+                ms = mono.advance(ms);
+                fs = fact.advance(&fs);
+            }
+            let op = OpId(rng.below(m.num_operations() as u64) as u32);
+            prop_assert_eq!(mono.can_issue(ms, op), fact.can_issue(&fs, op));
+            if let Some(next) = mono.issue(ms, op) {
+                ms = next;
+                fs = fact.issue(&fs, op).expect("factored accepts");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_automaton_accepts_reversed_schedules(
+        spec in arb_machine_spec(3, 3, 4, 5),
+        seed in any::<u64>(),
+    ) {
+        // Build a legal forward schedule, then replay it backwards
+        // through the reverse automaton: it must be accepted.
+        let m = build_single_issue_machine(&spec);
+        let fwd = Automaton::build(&m, Direction::Forward, 1 << 18).expect("small");
+        let rev = Automaton::build(&m, Direction::Reverse, 1 << 18).expect("small");
+
+        let mut rng = Lcg(seed);
+        let mut placements: Vec<(OpId, u32)> = Vec::new();
+        let mut cur = Cursor::new(&fwd);
+        for cycle in 0..12u32 {
+            cur.advance_to(cycle);
+            for _ in 0..rng.below(3) {
+                let op = OpId(rng.below(m.num_operations() as u64) as u32);
+                if cur.try_issue(op) {
+                    placements.push((op, cycle));
+                }
+            }
+        }
+        // Replay reversed: cycle c maps to (last - c); within one cycle
+        // order is irrelevant.
+        let last = placements.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        let horizon = m.max_table_length();
+        let mut rcur = Cursor::new(&rev);
+        let mut rplace: Vec<(OpId, u32)> = placements
+            .iter()
+            // The reverse automaton sees tables reversed in time; an op
+            // issued at c finishes at c + len(op) - 1, so its reversed
+            // issue cycle is (last + horizon) - (c + len(op)).
+            .map(|&(op, c)| {
+                let len = m.operation(op).table().length();
+                (op, last + horizon - c - len)
+            })
+            .collect();
+        rplace.sort_by_key(|&(_, c)| c);
+        for (op, c) in rplace {
+            rcur.advance_to(c);
+            prop_assert!(
+                rcur.try_issue(op),
+                "reverse automaton rejected a legal schedule"
+            );
+        }
+    }
+}

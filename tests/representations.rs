@@ -1,0 +1,144 @@
+//! The two internal representations (discrete / bitvector), the two
+//! schedule forms (linear / modulo), and the two machine descriptions
+//! (original / reduced) must all answer every query identically.
+
+use proptest::prelude::*;
+use rmd_core::{reduce, Objective};
+use rmd_integration::{arb_machine_spec, build_machine, Lcg};
+use rmd_machine::{MachineDescription, OpId};
+use rmd_query::{
+    BitvecModule, ContentionQuery, DiscreteModule, ModuloBitvecModule, ModuloDiscreteModule,
+    OpInstance, WordLayout,
+};
+
+/// Drives a deterministic check/assign/free script against a set of
+/// modules and asserts identical answers throughout.
+fn drive_identically(machine: &MachineDescription, modules: &mut [Box<dyn ContentionQuery>], steps: u32, seed: u64) {
+    let mut rng = Lcg(seed);
+    let n = machine.num_operations() as u64;
+    let mut live: Vec<(OpInstance, OpId, u32)> = Vec::new();
+    let mut next_inst = 0u32;
+    for step in 0..steps {
+        let op = OpId(rng.below(n) as u32);
+        let cycle = (step / 3) + rng.below(6) as u32;
+        let answers: Vec<bool> = modules.iter_mut().map(|m| m.check(op, cycle)).collect();
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "divergent check({op:?}, {cycle}): {answers:?}"
+        );
+        if answers[0] {
+            for m in modules.iter_mut() {
+                m.assign(OpInstance(next_inst), op, cycle);
+            }
+            live.push((OpInstance(next_inst), op, cycle));
+            next_inst += 1;
+        }
+        if live.len() > 6 {
+            let idx = rng.below(live.len() as u64) as usize;
+            let (i, o, c) = live.remove(idx);
+            for m in modules.iter_mut() {
+                m.free(i, o, c);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_modules_agree_across_representations_and_reductions(
+        spec in arb_machine_spec(5, 4, 5, 8),
+        seed in any::<u64>(),
+    ) {
+        let m = build_machine(&spec);
+        let red = reduce(&m, Objective::ResUses);
+        let k = (64 / red.reduced.num_resources() as u32).clamp(1, 8);
+        let mut modules: Vec<Box<dyn ContentionQuery>> = vec![
+            Box::new(DiscreteModule::new(&m)),
+            Box::new(BitvecModule::new(&m, WordLayout::with_k(64, 1))),
+            Box::new(DiscreteModule::new(&red.reduced)),
+            Box::new(BitvecModule::new(&red.reduced, WordLayout::with_k(64, k))),
+        ];
+        drive_identically(&m, &mut modules, 60, seed);
+    }
+
+    #[test]
+    fn modulo_modules_agree_across_representations_and_reductions(
+        spec in arb_machine_spec(5, 4, 5, 8),
+        seed in any::<u64>(),
+        ii_extra in 0u32..6,
+    ) {
+        let m = build_machine(&spec);
+        let red = reduce(&m, Objective::ResUses);
+        // II large enough that every op fits (no self-overlap): use the
+        // longest table.
+        let ii = m.max_table_length().max(1) + ii_extra;
+        let k = (64 / red.reduced.num_resources() as u32).clamp(1, 8);
+        let k0 = (64 / m.num_resources() as u32).clamp(1, 8);
+        let mut modules: Vec<Box<dyn ContentionQuery>> = vec![
+            Box::new(ModuloDiscreteModule::new(&m, ii)),
+            Box::new(ModuloBitvecModule::new(&m, ii, WordLayout::with_k(64, k0))),
+            Box::new(ModuloDiscreteModule::new(&red.reduced, ii)),
+            Box::new(ModuloBitvecModule::new(&red.reduced, ii, WordLayout::with_k(64, k))),
+        ];
+        drive_identically(&m, &mut modules, 60, seed);
+    }
+
+    #[test]
+    fn assign_free_evicts_identically_everywhere(
+        spec in arb_machine_spec(4, 3, 4, 6),
+        seed in any::<u64>(),
+    ) {
+        let m = build_machine(&spec);
+        let red = reduce(&m, Objective::ResUses);
+        let mut a: Box<dyn ContentionQuery> = Box::new(DiscreteModule::new(&m));
+        let mut b: Box<dyn ContentionQuery> =
+            Box::new(BitvecModule::new(&red.reduced, WordLayout::with_k(64, 1)));
+        let mut rng = Lcg(seed);
+        let n = m.num_operations() as u64;
+        let mut inst = 0u32;
+        let mut live_a: std::collections::HashSet<u32> = Default::default();
+        for step in 0..40u32 {
+            let op = OpId(rng.below(n) as u32);
+            let cycle = step / 2 + rng.below(4) as u32;
+            let mut ea = a.assign_free(OpInstance(inst), op, cycle);
+            let mut eb = b.assign_free(OpInstance(inst), op, cycle);
+            ea.sort();
+            eb.sort();
+            prop_assert_eq!(&ea, &eb, "divergent evictions at step {}", step);
+            for e in ea {
+                live_a.remove(&e.0);
+            }
+            live_a.insert(inst);
+            inst += 1;
+            prop_assert_eq!(a.num_scheduled(), live_a.len());
+            prop_assert_eq!(b.num_scheduled(), live_a.len());
+        }
+    }
+}
+
+#[test]
+fn update_mode_matches_discrete_after_transition() {
+    // A fixed scenario that forces the bitvector module through its
+    // optimistic->update transition and continues afterwards.
+    let m = rmd_machine::models::example_machine();
+    let b_op = m.op_by_name("B").unwrap();
+    let a_op = m.op_by_name("A").unwrap();
+    let mut d: Box<dyn ContentionQuery> = Box::new(DiscreteModule::new(&m));
+    let mut v: Box<dyn ContentionQuery> = Box::new(BitvecModule::new(&m, WordLayout::with_k(64, 4)));
+    for (i, (op, cycle)) in [(b_op, 0u32), (b_op, 1), (a_op, 0), (b_op, 5), (b_op, 6)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut ea = d.assign_free(OpInstance(i as u32), op, cycle);
+        let mut eb = v.assign_free(OpInstance(i as u32), op, cycle);
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb, "step {i}");
+    }
+    for cycle in 0..12 {
+        assert_eq!(d.check(a_op, cycle), v.check(a_op, cycle), "A @ {cycle}");
+        assert_eq!(d.check(b_op, cycle), v.check(b_op, cycle), "B @ {cycle}");
+    }
+}
