@@ -69,7 +69,7 @@ fn bench_check(c: &mut Criterion) {
 fn bench_assign_free_cycle(c: &mut Criterion) {
     let machine = cydra5_subset();
     let red = reduce(&machine, Objective::KCycleWord { k: 4 });
-    let k_fit = (64 / red.reduced.num_resources() as u32).max(1).min(4);
+    let k_fit = (64 / red.reduced.num_resources() as u32).clamp(1, 4);
     let mut g = c.benchmark_group("assign_free_free");
     let op = OpId(0);
     g.bench_with_input(

@@ -19,10 +19,88 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use rmd_core::{reduce, verify_equivalence, Objective};
+use rmd_core::{try_reduce, verify_equivalence, Limits, Objective, ReduceOptions, RmdError};
 use rmd_latency::{ClassPartition, ForbiddenMatrix};
 use rmd_machine::{mdl, models, MachineDescription};
 use std::fmt::Write as _;
+
+/// A failure of the `rmd` tool, classified by pipeline stage.
+///
+/// Each variant maps to a distinct process exit code via
+/// [`CliError::exit_code`] so scripts can tell *why* an invocation
+/// failed without scraping stderr:
+///
+/// | variant          | exit code | meaning                                   |
+/// |------------------|-----------|-------------------------------------------|
+/// | `Usage`          | 2         | malformed command line                    |
+/// | `Parse`          | 3         | unreadable input or MDL syntax error      |
+/// | `Validation`     | 4         | machine rejected by structural validation |
+/// | `Verification`   | 5         | equivalence check failed                  |
+/// | `Internal`       | 1         | unexpected pipeline failure               |
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line itself is malformed.
+    Usage(String),
+    /// The named input could not be read or parsed as MDL.
+    Parse {
+        /// The file path or model spec that failed.
+        spec: String,
+        /// What went wrong, already rendered for display.
+        message: String,
+    },
+    /// A machine was loaded but rejected by validation limits or
+    /// structural checks.
+    Validation(RmdError),
+    /// Two descriptions do not forbid the same latencies (from
+    /// `rmd verify`), or a reduction failed its mandatory
+    /// post-verification.
+    Verification {
+        /// The rendered inequivalence witness.
+        message: String,
+    },
+    /// An unexpected internal failure.
+    Internal(String),
+}
+
+impl CliError {
+    /// The process exit code this error should terminate with.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Parse { .. } => 3,
+            CliError::Validation(_) => 4,
+            CliError::Verification { .. } => 5,
+            CliError::Internal(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Parse { spec, message } => write!(f, "{spec}: {message}"),
+            CliError::Validation(e) => write!(f, "invalid machine: {e}"),
+            CliError::Verification { message } => write!(f, "{message}"),
+            CliError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<RmdError> for CliError {
+    fn from(e: RmdError) -> Self {
+        match e {
+            RmdError::VerificationFailed(v) => CliError::Verification {
+                message: format!("reduction broke equivalence: {v}"),
+            },
+            other => CliError::Validation(other),
+        }
+    }
+}
 
 /// A parsed command line.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -94,8 +172,8 @@ impl From<ParsedObjective> for Objective {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for malformed command lines.
-pub fn parse_args(args: &[String]) -> Result<Command, String> {
+/// Returns [`CliError::Usage`] for malformed command lines.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
         return Ok(Command::Help);
@@ -131,28 +209,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         Some("res-uses") => want_word = false,
                         Some("word") => want_word = true,
                         other => {
-                            return Err(format!(
+                            return Err(CliError::Usage(format!(
                                 "--objective expects `res-uses` or `word`, got {other:?}"
-                            ))
+                            )))
                         }
                     },
                     "--k" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| "--k expects a number".to_owned())?;
-                        k = Some(
-                            v.parse()
-                                .map_err(|_| format!("--k expects a number, got `{v}`"))?,
-                        );
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--k expects a number".to_owned())
+                        })?;
+                        k = Some(v.parse().map_err(|_| {
+                            CliError::Usage(format!("--k expects a number, got `{v}`"))
+                        })?);
                     }
                     "--emit-mdl" => emit_mdl = true,
-                    other => return Err(format!("unknown option `{other}`")),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown option `{other}`")))
+                    }
                 }
             }
             if want_word {
                 objective = ParsedObjective::Word { k: k.unwrap_or(4) };
             } else if k.is_some() {
-                return Err("--k only applies with --objective word".to_owned());
+                return Err(CliError::Usage(
+                    "--k only applies with --objective word".to_owned(),
+                ));
             }
             Ok(Command::Reduce {
                 machine,
@@ -160,7 +241,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 emit_mdl,
             })
         }
-        other => Err(format!("unknown command `{other}` (try `rmd help`)")),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}` (try `rmd help`)"
+        ))),
     }
 }
 
@@ -168,32 +251,43 @@ fn required(
     it: &mut core::slice::Iter<'_, String>,
     cmd: &str,
     what: &str,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     it.next()
         .cloned()
-        .ok_or_else(|| format!("`rmd {cmd}` requires {what}"))
+        .ok_or_else(|| CliError::Usage(format!("`rmd {cmd}` requires {what}")))
 }
 
 /// Built-in model names accepted anywhere a machine is expected.
 pub const MODEL_NAMES: [&str; 5] = ["fig1", "mips", "alpha", "cydra5", "cydra5-subset"];
 
-/// Loads a machine from a built-in model name or an `.mdl` file path.
+/// Loads a machine from a built-in model name or an `.mdl` file path,
+/// then checks it against the default validation [`Limits`].
 ///
 /// # Errors
 ///
-/// Reports unreadable files and parse errors with their positions.
-pub fn load_machine(spec: &str) -> Result<MachineDescription, String> {
-    match spec {
-        "fig1" => return Ok(models::example_machine()),
-        "mips" => return Ok(models::mips_r3000()),
-        "alpha" => return Ok(models::alpha21064()),
-        "cydra5" => return Ok(models::cydra5()),
-        "cydra5-subset" => return Ok(models::cydra5_subset()),
-        _ => {}
-    }
-    let text = std::fs::read_to_string(spec)
-        .map_err(|e| format!("cannot read `{spec}`: {e}"))?;
-    let (m, _) = mdl::parse_machine(&text).map_err(|e| format!("{spec}: {e}"))?;
+/// [`CliError::Parse`] for unreadable files and MDL syntax errors
+/// (with positions), [`CliError::Validation`] when the parsed machine
+/// exceeds a resource limit.
+pub fn load_machine(spec: &str) -> Result<MachineDescription, CliError> {
+    let m = match spec {
+        "fig1" => models::example_machine(),
+        "mips" => models::mips_r3000(),
+        "alpha" => models::alpha21064(),
+        "cydra5" => models::cydra5(),
+        "cydra5-subset" => models::cydra5_subset(),
+        _ => {
+            let text = std::fs::read_to_string(spec).map_err(|e| CliError::Parse {
+                spec: spec.to_owned(),
+                message: format!("cannot read: {e}"),
+            })?;
+            let (m, _) = mdl::parse_machine(&text).map_err(|e| CliError::Parse {
+                spec: spec.to_owned(),
+                message: e.to_string(),
+            })?;
+            m
+        }
+    };
+    Limits::default().validate(&m).map_err(CliError::from)?;
     Ok(m)
 }
 
@@ -201,8 +295,9 @@ pub fn load_machine(spec: &str) -> Result<MachineDescription, String> {
 ///
 /// # Errors
 ///
-/// Returns a message suitable for printing to stderr (exit code 1).
-pub fn run(cmd: &Command) -> Result<String, String> {
+/// Returns a [`CliError`] classified by pipeline stage; print it to
+/// stderr and exit with [`CliError::exit_code`].
+pub fn run(cmd: &Command) -> Result<String, CliError> {
     let mut out = String::new();
     match cmd {
         Command::Help => {
@@ -224,7 +319,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let m = load_machine(machine)?;
             let f = ForbiddenMatrix::compute(&m);
             let classes = ClassPartition::compute(&m, &f);
-            let cm = classes.class_machine(&m).map_err(|e| e.to_string())?;
+            let cm = classes
+                .class_machine(&m)
+                .map_err(|e| CliError::Validation(RmdError::from(e)))?;
             let cf = ForbiddenMatrix::compute(&cm);
             let _ = writeln!(out, "{m}");
             let _ = writeln!(
@@ -281,7 +378,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                         "equivalent: `{left}` and `{right}` forbid exactly the same latencies"
                     );
                 }
-                Err(e) => return Err(format!("NOT equivalent: {e}")),
+                Err(e) => {
+                    return Err(CliError::Verification {
+                        message: format!("NOT equivalent: {e}"),
+                    })
+                }
             }
         }
         Command::Reduce {
@@ -290,9 +391,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             emit_mdl,
         } => {
             let m = load_machine(machine)?;
-            let red = reduce(&m, (*objective).into());
-            verify_equivalence(&m, &red.reduced)
-                .map_err(|e| format!("internal error: reduction broke equivalence: {e}"))?;
+            let red = try_reduce(&m, (*objective).into(), &ReduceOptions::default())
+                .map_err(CliError::from)?;
+            verify_equivalence(&m, &red.reduced).map_err(|e| CliError::Verification {
+                message: format!("reduction broke equivalence: {e}"),
+            })?;
             let _ = writeln!(
                 out,
                 "reduced `{}` under {:?}:",
@@ -367,7 +470,7 @@ mod tests {
             "7",
             "--emit-mdl",
         ]))
-        .unwrap();
+        .expect("valid command line");
         assert_eq!(
             c,
             Command::Reduce {
@@ -378,18 +481,31 @@ mod tests {
         );
     }
 
+    fn usage_error(args_: &[&str]) -> CliError {
+        match parse_args(&args(args_)) {
+            Err(e) => e,
+            Ok(c) => unreachable!("expected a usage error, parsed {c:?}"),
+        }
+    }
+
     #[test]
-    fn rejects_bad_usage() {
-        assert!(parse_args(&args(&["reduce"])).is_err());
-        assert!(parse_args(&args(&["reduce", "mips", "--k", "2"])).is_err());
-        assert!(parse_args(&args(&["frobnicate"])).is_err());
-        assert!(parse_args(&args(&["reduce", "mips", "--objective", "speed"])).is_err());
+    fn rejects_bad_usage_with_exit_code_2() {
+        for bad in [
+            &["reduce"][..],
+            &["reduce", "mips", "--k", "2"][..],
+            &["frobnicate"][..],
+            &["reduce", "mips", "--objective", "speed"][..],
+        ] {
+            let e = usage_error(bad);
+            assert!(matches!(e, CliError::Usage(_)), "{bad:?} -> {e:?}");
+            assert_eq!(e.exit_code(), 2);
+        }
     }
 
     #[test]
     fn no_args_is_help() {
-        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
-        assert!(run(&Command::Help).unwrap().contains("USAGE"));
+        assert_eq!(parse_args(&[]).expect("empty args"), Command::Help);
+        assert!(run(&Command::Help).expect("help runs").contains("USAGE"));
     }
 
     #[test]
@@ -397,14 +513,14 @@ mod tests {
         let s = run(&Command::Stats {
             machine: "fig1".into(),
         })
-        .unwrap();
+        .expect("stats on builtin model");
         assert!(s.contains("operation classes"));
         let r = run(&Command::Reduce {
             machine: "fig1".into(),
             objective: ParsedObjective::ResUses,
             emit_mdl: true,
         })
-        .unwrap();
+        .expect("reduce on builtin model");
         assert!(r.contains("resources     5 ->    2"), "{r}");
         assert!(r.contains("machine \"fig1-example-reduced\""));
     }
@@ -416,17 +532,27 @@ mod tests {
             right: "fig1".into(),
         })
         .is_ok());
-        assert!(run(&Command::Verify {
+        match run(&Command::Verify {
             left: "fig1".into(),
             right: "mips".into(),
-        })
-        .is_err());
+        }) {
+            Err(e @ CliError::Verification { .. }) => {
+                assert_eq!(e.exit_code(), 5);
+                assert!(e.to_string().contains("NOT equivalent"));
+            }
+            other => unreachable!("expected a verification error, got {other:?}"),
+        }
     }
 
     #[test]
-    fn load_machine_reports_missing_files() {
-        let e = load_machine("/no/such/file.mdl").unwrap_err();
-        assert!(e.contains("cannot read"));
+    fn load_machine_reports_missing_files_as_parse_errors() {
+        match load_machine("/no/such/file.mdl") {
+            Err(e @ CliError::Parse { .. }) => {
+                assert_eq!(e.exit_code(), 3);
+                assert!(e.to_string().contains("cannot read"));
+            }
+            other => unreachable!("expected a parse error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -436,9 +562,10 @@ mod tests {
             objective: ParsedObjective::Word { k: 4 },
             emit_mdl: true,
         })
-        .unwrap();
+        .expect("reduce succeeds");
         let mdl_start = out.find("machine \"").expect("mdl present");
-        let (m, _) = rmd_machine::mdl::parse_machine(&out[mdl_start..]).unwrap();
+        let (m, _) =
+            rmd_machine::mdl::parse_machine(&out[mdl_start..]).expect("emitted mdl reparses");
         assert!(m.num_resources() > 0);
     }
 }
@@ -449,8 +576,8 @@ mod table_tests {
 
     #[test]
     fn table_command_renders_report() {
-        let c = parse_args(&["table".to_string(), "fig1".to_string()]).unwrap();
-        let out = run(&c).unwrap();
+        let c = parse_args(&["table".to_string(), "fig1".to_string()]).expect("parses");
+        let out = run(&c).expect("table runs");
         assert!(out.contains("number of resources"), "{out}");
         assert!(out.contains("res-uses"));
     }

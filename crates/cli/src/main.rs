@@ -1,4 +1,7 @@
 //! The `rmd` binary. All logic lives in the library for testability.
+//!
+//! Exit codes: 0 success, 1 internal error, 2 usage, 3 parse,
+//! 4 validation, 5 verification failure (see `rmd_cli::CliError`).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -7,13 +10,13 @@ fn main() {
             Ok(out) => print!("{out}"),
             Err(e) => {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             }
         },
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{}", rmd_cli::HELP);
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -1,0 +1,320 @@
+//! The workspace-wide error taxonomy and input-validation limits.
+//!
+//! Every fallible public entry point across the reduction pipeline
+//! reports failures through [`RmdError`] — a hand-rolled, dependency-free
+//! enum — instead of panicking. Errors sort into four families:
+//!
+//! - **Input errors** ([`RmdError::InvalidMachine`], [`RmdError::Parse`],
+//!   [`RmdError::LimitExceeded`], [`RmdError::DegenerateInput`]): the
+//!   caller handed us something malformed or unreasonably large.
+//! - **Verification errors** ([`RmdError::VerificationFailed`]): a
+//!   reduction's forbidden-latency matrix diverged from the original's —
+//!   the one failure the paper's Theorem 1 says must never reach a
+//!   scheduler.
+//! - **Resource-exhaustion errors** ([`RmdError::BudgetExhausted`]): a
+//!   configurable step budget ran out mid-pipeline.
+//! - **Scheduling errors** ([`RmdError::Unschedulable`]): no feasible
+//!   initiation interval within the configured range.
+
+use crate::verify::EquivalenceError;
+use core::fmt;
+use rmd_machine::mdl::ParseError;
+use rmd_machine::{MachineDescription, MachineError};
+
+/// The unified error type for the reduction pipeline and its drivers.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum RmdError {
+    /// The machine description violates a structural invariant.
+    InvalidMachine(MachineError),
+    /// An MDL source failed to parse.
+    Parse(ParseError),
+    /// An explicit resource limit was exceeded.
+    LimitExceeded {
+        /// Which limit (e.g. "resources", "operations", "table cycles").
+        what: &'static str,
+        /// The observed value.
+        value: u64,
+        /// The configured maximum.
+        limit: u64,
+    },
+    /// The input is structurally valid but degenerate in a way the
+    /// pipeline cannot meaningfully process.
+    DegenerateInput(String),
+    /// A reduced description failed exact-equivalence verification
+    /// against its original.
+    VerificationFailed(EquivalenceError),
+    /// The configured step budget ran out before the pipeline finished.
+    BudgetExhausted {
+        /// Steps charged when the budget tripped.
+        steps: u64,
+    },
+    /// No feasible initiation interval within the configured range.
+    Unschedulable {
+        /// The largest II attempted.
+        max_ii: u32,
+    },
+    /// An I/O failure (file read/write), carried as a message to keep
+    /// the error `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for RmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmdError::InvalidMachine(e) => write!(f, "invalid machine: {e}"),
+            RmdError::Parse(e) => write!(f, "parse error: {e}"),
+            RmdError::LimitExceeded { what, value, limit } => {
+                write!(f, "limit exceeded: {value} {what} (maximum {limit})")
+            }
+            RmdError::DegenerateInput(msg) => write!(f, "degenerate input: {msg}"),
+            RmdError::VerificationFailed(e) => {
+                write!(f, "reduction failed equivalence verification: {e}")
+            }
+            RmdError::BudgetExhausted { steps } => {
+                write!(f, "step budget exhausted after {steps} steps")
+            }
+            RmdError::Unschedulable { max_ii } => {
+                write!(f, "no feasible initiation interval up to {max_ii}")
+            }
+            RmdError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RmdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RmdError::InvalidMachine(e) => Some(e),
+            RmdError::Parse(e) => Some(e),
+            RmdError::VerificationFailed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for RmdError {
+    fn from(e: MachineError) -> Self {
+        RmdError::InvalidMachine(e)
+    }
+}
+
+impl From<ParseError> for RmdError {
+    fn from(e: ParseError) -> Self {
+        RmdError::Parse(e)
+    }
+}
+
+impl From<EquivalenceError> for RmdError {
+    fn from(e: EquivalenceError) -> Self {
+        RmdError::VerificationFailed(e)
+    }
+}
+
+/// Explicit resource limits applied before the pipeline touches an
+/// input. Defaults are far above any real machine model but low enough
+/// to reject adversarial inputs long before they can exhaust memory or
+/// overflow latency arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Limits {
+    /// Maximum declared resources.
+    pub max_resources: usize,
+    /// Maximum declared operations.
+    pub max_operations: usize,
+    /// Maximum reservation-table length in cycles. Also guards the
+    /// latency arithmetic: forbidden latencies span
+    /// `-(len-1) ..= len-1`, computed in `i32`, so this must stay far
+    /// below `i32::MAX`.
+    pub max_table_cycles: u32,
+    /// Maximum total usages summed over all operations.
+    pub max_total_usages: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_resources: 4096,
+            max_operations: 4096,
+            max_table_cycles: 1 << 16,
+            max_total_usages: 1 << 20,
+        }
+    }
+}
+
+impl Limits {
+    /// Validates `machine` against these limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmdError::LimitExceeded`] naming the first violated
+    /// limit, or [`RmdError::DegenerateInput`] for inputs no limit can
+    /// make sense of.
+    pub fn validate(&self, machine: &MachineDescription) -> Result<(), RmdError> {
+        if machine.num_resources() > self.max_resources {
+            return Err(RmdError::LimitExceeded {
+                what: "resources",
+                value: machine.num_resources() as u64,
+                limit: self.max_resources as u64,
+            });
+        }
+        if machine.num_operations() > self.max_operations {
+            return Err(RmdError::LimitExceeded {
+                what: "operations",
+                value: machine.num_operations() as u64,
+                limit: self.max_operations as u64,
+            });
+        }
+        let mut total_usages = 0usize;
+        for (_, op) in machine.ops() {
+            let len = op.table().length();
+            if len > self.max_table_cycles {
+                return Err(RmdError::LimitExceeded {
+                    what: "table cycles",
+                    value: u64::from(len),
+                    limit: u64::from(self.max_table_cycles),
+                });
+            }
+            // Redundant with the limit above for sane configurations,
+            // but keeps latency-offset arithmetic overflow-free even if
+            // a caller raises `max_table_cycles` recklessly.
+            if len > (i32::MAX as u32) / 4 {
+                return Err(RmdError::DegenerateInput(format!(
+                    "operation `{}` spans {len} cycles; forbidden-latency \
+                     offsets would overflow i32",
+                    op.name()
+                )));
+            }
+            total_usages += op.table().num_usages();
+        }
+        if total_usages > self.max_total_usages {
+            return Err(RmdError::LimitExceeded {
+                what: "total usages",
+                value: total_usages as u64,
+                limit: self.max_total_usages as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A countdown of pipeline work: each unit is roughly one usage-pair
+/// consideration in generating-set construction. When it hits zero, the
+/// pipeline stops with [`RmdError::BudgetExhausted`] instead of running
+/// unbounded on pathological inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StepBudget {
+    limit: u64,
+    used: u64,
+}
+
+impl StepBudget {
+    /// A budget of `limit` steps.
+    pub fn new(limit: u64) -> Self {
+        StepBudget { limit, used: 0 }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        StepBudget::new(u64::MAX)
+    }
+
+    /// Steps charged so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Charges `n` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmdError::BudgetExhausted`] once the total exceeds the
+    /// limit; the pipeline unwinds and the caller decides what to do
+    /// (typically fall back to the original tables).
+    pub fn charge(&mut self, n: u64) -> Result<(), RmdError> {
+        self.used = self.used.saturating_add(n);
+        if self.used > self.limit {
+            Err(RmdError::BudgetExhausted { steps: self.used })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::MachineBuilder;
+
+    fn tiny() -> MachineDescription {
+        let mut b = MachineBuilder::new("t");
+        let r = b.resource("r");
+        b.operation("x").usage(r, 0).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_limits_admit_real_models() {
+        for m in rmd_machine::models::all_machines() {
+            assert!(Limits::default().validate(&m).is_ok(), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn tight_limits_reject_with_the_right_name() {
+        let m = tiny();
+        let limits = Limits {
+            max_resources: 0,
+            ..Limits::default()
+        };
+        match limits.validate(&m) {
+            Err(RmdError::LimitExceeded { what, value, limit }) => {
+                assert_eq!(what, "resources");
+                assert_eq!((value, limit), (1, 0));
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+        let limits = Limits {
+            max_table_cycles: 0,
+            ..Limits::default()
+        };
+        assert!(matches!(
+            limits.validate(&m),
+            Err(RmdError::LimitExceeded {
+                what: "table cycles",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn budget_trips_exactly_once_exceeded() {
+        let mut b = StepBudget::new(10);
+        assert!(b.charge(10).is_ok());
+        assert_eq!(b.used(), 10);
+        match b.charge(1) {
+            Err(RmdError::BudgetExhausted { steps }) => assert_eq!(steps, 11),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_their_family() {
+        let e = RmdError::LimitExceeded {
+            what: "resources",
+            value: 5,
+            limit: 2,
+        };
+        assert_eq!(e.to_string(), "limit exceeded: 5 resources (maximum 2)");
+        assert!(RmdError::BudgetExhausted { steps: 3 }
+            .to_string()
+            .contains("3 steps"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let me = MachineError::NoOperations;
+        let e: RmdError = me.clone().into();
+        assert_eq!(e, RmdError::InvalidMachine(me));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,171 @@
+//! Graceful degradation: reduce, verify, and fall back to the original
+//! tables when anything goes wrong.
+//!
+//! The paper's correctness gate (Theorem 1, §5) is that a reduced
+//! description's forbidden-latency matrix is bit-for-bit identical to
+//! the original's. [`reduce_with_fallback`] enforces that gate at
+//! runtime: every reduction is re-verified with
+//! [`verify_equivalence`](crate::verify_equivalence) before being
+//! handed out, and any failure — invalid input, exhausted step budget,
+//! or (hypothetically) a verification miss — yields the **original**
+//! machine description instead, with the reason recorded. Scheduling
+//! against the original tables is always correct, merely slower, so a
+//! bad reduction can never miscompile a loop.
+
+use crate::error::RmdError;
+use crate::reduce::{try_reduce, ReduceOptions, Reduction};
+use crate::select::Objective;
+use crate::verify::verify_equivalence;
+use rmd_machine::MachineDescription;
+
+/// Why [`reduce_with_fallback`] declined to use a reduction.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum FallbackEvent {
+    /// The input failed validation or the pipeline errored before
+    /// producing a reduction.
+    ReductionFailed(RmdError),
+    /// A reduction was produced but failed exact-equivalence
+    /// verification against the original.
+    VerificationFailed(RmdError),
+}
+
+impl FallbackEvent {
+    /// The underlying error.
+    pub fn error(&self) -> &RmdError {
+        match self {
+            FallbackEvent::ReductionFailed(e) | FallbackEvent::VerificationFailed(e) => e,
+        }
+    }
+}
+
+/// The outcome of [`reduce_with_fallback`]: always a usable machine
+/// description, never an unverified reduction.
+#[derive(Clone, Debug)]
+pub struct FallbackReduction {
+    /// The description to schedule against: the verified reduced machine,
+    /// or a clone of the original if the pipeline fell back.
+    pub machine: MachineDescription,
+    /// The full reduction artifacts, present only when the reduction
+    /// succeeded *and* verified.
+    pub reduction: Option<Reduction>,
+    /// Why the original tables were kept, if they were.
+    pub fallback: Option<FallbackEvent>,
+}
+
+impl FallbackReduction {
+    /// `true` if the pipeline fell back to the original tables.
+    pub fn used_fallback(&self) -> bool {
+        self.fallback.is_some()
+    }
+}
+
+/// Reduces `machine`, verifies the result, and falls back to the
+/// original tables on any failure.
+///
+/// The returned [`FallbackReduction::machine`] is **always** safe to
+/// schedule against:
+///
+/// - on success it is the reduced machine, already re-verified to
+///   produce an identical forbidden-latency matrix;
+/// - on any failure (limit violation, degenerate input, exhausted step
+///   budget, verification mismatch) it is the original machine, and
+///   [`FallbackReduction::fallback`] records why.
+///
+/// This function never panics on malformed input and never returns an
+/// unverified reduction.
+pub fn reduce_with_fallback(
+    machine: &MachineDescription,
+    objective: Objective,
+    options: &ReduceOptions,
+) -> FallbackReduction {
+    let red = match try_reduce(machine, objective, options) {
+        Ok(red) => red,
+        Err(e) => {
+            return FallbackReduction {
+                machine: machine.clone(),
+                reduction: None,
+                fallback: Some(FallbackEvent::ReductionFailed(e)),
+            }
+        }
+    };
+    match verify_equivalence(machine, &red.reduced) {
+        Ok(()) => FallbackReduction {
+            machine: red.reduced.clone(),
+            reduction: Some(red),
+            fallback: None,
+        },
+        Err(e) => FallbackReduction {
+            machine: machine.clone(),
+            reduction: None,
+            fallback: Some(FallbackEvent::VerificationFailed(e.into())),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Limits;
+    use rmd_machine::models::{all_machines, example_machine};
+
+    #[test]
+    fn success_returns_a_verified_reduction() {
+        for m in all_machines() {
+            let out = reduce_with_fallback(&m, Objective::ResUses, &ReduceOptions::default());
+            assert!(!out.used_fallback(), "{}", m.name());
+            let red = out.reduction.as_ref().expect("reduction present");
+            assert_eq!(out.machine, red.reduced);
+            assert!(verify_equivalence(&m, &out.machine).is_ok(), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_falls_back_to_the_original() {
+        let m = example_machine();
+        let options = ReduceOptions {
+            max_steps: Some(1),
+            ..ReduceOptions::default()
+        };
+        let out = reduce_with_fallback(&m, Objective::ResUses, &options);
+        assert!(out.used_fallback());
+        assert!(out.reduction.is_none());
+        assert_eq!(out.machine, m, "fallback must hand back the original");
+        match out.fallback {
+            Some(FallbackEvent::ReductionFailed(RmdError::BudgetExhausted { steps })) => {
+                assert!(steps > 1);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_violation_falls_back_to_the_original() {
+        let m = example_machine();
+        let options = ReduceOptions {
+            limits: Limits {
+                max_operations: 1,
+                ..Limits::default()
+            },
+            ..ReduceOptions::default()
+        };
+        let out = reduce_with_fallback(&m, Objective::ResUses, &options);
+        assert!(out.used_fallback());
+        assert_eq!(out.machine, m);
+        match out.fallback.unwrap().error() {
+            RmdError::LimitExceeded { what, .. } => assert_eq!(*what, "operations"),
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_still_succeeds() {
+        let m = example_machine();
+        let options = ReduceOptions {
+            max_steps: Some(1_000_000),
+            ..ReduceOptions::default()
+        };
+        let out = reduce_with_fallback(&m, Objective::KCycleWord { k: 2 }, &options);
+        assert!(!out.used_fallback());
+    }
+}

@@ -1,5 +1,6 @@
 //! Algorithm 1: building the generating set of maximal resources.
 
+use crate::error::{RmdError, StepBudget};
 use crate::synth::{SynthResource, SynthUsage};
 use core::fmt;
 use rmd_latency::ForbiddenMatrix;
@@ -110,15 +111,32 @@ pub struct GenSetTrace {
 /// polynomial in practice on machine descriptions with long non-pipelined
 /// occupancies.
 pub fn generating_set(f: &ForbiddenMatrix) -> Vec<SynthResource> {
-    build(f, None)
+    build(f, None, None).expect("unlimited budget cannot exhaust")
 }
 
 /// Like [`generating_set`], also recording every rule application —
 /// used by the Figure 3 reproduction and for debugging machine models.
 pub fn generating_set_traced(f: &ForbiddenMatrix) -> (Vec<SynthResource>, GenSetTrace) {
     let mut trace = GenSetTrace::default();
-    let set = build(f, Some(&mut trace));
+    let set = build(f, Some(&mut trace), None).expect("unlimited budget cannot exhaust");
     (set, trace)
+}
+
+/// Like [`generating_set`], but charges one step per elementary pair and
+/// per pair-versus-resource consideration against `budget`, unwinding
+/// with [`RmdError::BudgetExhausted`](crate::RmdError::BudgetExhausted)
+/// when it runs out — the hook [`reduce_with_fallback`]
+/// (crate::reduce_with_fallback) uses to bound worst-case work.
+///
+/// # Errors
+///
+/// Returns [`RmdError::BudgetExhausted`](crate::RmdError::BudgetExhausted)
+/// if `budget` runs out mid-construction.
+pub fn generating_set_budgeted(
+    f: &ForbiddenMatrix,
+    budget: &mut StepBudget,
+) -> Result<Vec<SynthResource>, RmdError> {
+    build(f, None, Some(budget))
 }
 
 /// A 64-bit inclusion signature: `sig(a) & !sig(b) != 0` proves `a ⊄ b`.
@@ -184,9 +202,21 @@ impl WorkingSet {
     }
 }
 
-fn build(f: &ForbiddenMatrix, mut trace: Option<&mut GenSetTrace>) -> Vec<SynthResource> {
+fn build(
+    f: &ForbiddenMatrix,
+    mut trace: Option<&mut GenSetTrace>,
+    mut budget: Option<&mut StepBudget>,
+) -> Result<Vec<SynthResource>, RmdError> {
     let n = f.num_ops();
     let mut set = WorkingSet::new();
+
+    macro_rules! charge {
+        ($n:expr) => {
+            if let Some(b) = budget.as_deref_mut() {
+                b.charge($n)?;
+            }
+        };
+    }
 
     macro_rules! emit {
         ($e:expr) => {
@@ -205,6 +235,7 @@ fn build(f: &ForbiddenMatrix, mut trace: Option<&mut GenSetTrace>) -> Vec<SynthR
                 if lat == 0 && x == y {
                     continue;
                 }
+                charge!(1);
                 let u0 = SynthUsage::new(x as u32, 0);
                 let u1 = SynthUsage::new(y as u32, lat as u32);
                 emit!(GenSetEvent::ProcessPair {
@@ -218,6 +249,7 @@ fn build(f: &ForbiddenMatrix, mut trace: Option<&mut GenSetTrace>) -> Vec<SynthR
                 let snapshot = set.slots.len();
                 let mut co_resident = false;
                 for qi in 0..snapshot {
+                    charge!(1);
                     let Some(q) = &set.slots[qi] else { continue };
                     if q.accepts(f, u0) && q.accepts(f, u1) {
                         // Rule 1: merge the pair into q.
@@ -298,7 +330,7 @@ fn build(f: &ForbiddenMatrix, mut trace: Option<&mut GenSetTrace>) -> Vec<SynthR
         }
     }
 
-    set.slots.into_iter().flatten().collect()
+    Ok(set.slots.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

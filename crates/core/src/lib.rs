@@ -39,6 +39,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod error;
+mod fallback;
 mod genset;
 mod prune;
 mod reduce;
@@ -47,9 +49,13 @@ mod stats;
 mod synth;
 mod verify;
 
-pub use genset::{generating_set, generating_set_traced, GenSetEvent, GenSetTrace};
+pub use error::{Limits, RmdError, StepBudget};
+pub use fallback::{reduce_with_fallback, FallbackEvent, FallbackReduction};
+pub use genset::{
+    generating_set, generating_set_budgeted, generating_set_traced, GenSetEvent, GenSetTrace,
+};
 pub use prune::prune_dominated;
-pub use reduce::{reduce, Reduction};
+pub use reduce::{reduce, try_reduce, ReduceOptions, Reduction};
 pub use select::{select, Objective, Selection};
 pub use stats::{avg_word_usages, word_usages_of_table, DescriptionStats};
 pub use synth::{SynthResource, SynthUsage};

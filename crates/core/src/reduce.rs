@@ -1,10 +1,21 @@
 //! The end-to-end reduction driver.
 
-use crate::genset::generating_set;
+use crate::error::{Limits, RmdError, StepBudget};
+use crate::genset::generating_set_budgeted;
 use crate::prune::prune_dominated;
 use crate::select::{select, Objective, Selection};
 use rmd_latency::{ClassPartition, ForbiddenMatrix};
 use rmd_machine::{MachineBuilder, MachineDescription};
+
+/// Knobs for [`try_reduce`] and
+/// [`reduce_with_fallback`](crate::reduce_with_fallback).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ReduceOptions {
+    /// Structural limits applied to the input before any work happens.
+    pub limits: Limits,
+    /// Step budget for generating-set construction; `None` is unlimited.
+    pub max_steps: Option<u64>,
+}
 
 /// The result of reducing a machine description (paper §3–§5).
 #[derive(Clone, Debug)]
@@ -53,21 +64,54 @@ pub struct Reduction {
 ///
 /// Panics if the internal invariants are violated (e.g. a class ends up
 /// with an empty reduced table) — this indicates a bug, not bad input, as
-/// any valid machine can be reduced.
+/// any valid machine can be reduced. Callers that must not panic on
+/// hostile input should use [`try_reduce`] (typed errors) or
+/// [`reduce_with_fallback`](crate::reduce_with_fallback) (graceful
+/// degradation to the original tables).
 pub fn reduce(machine: &MachineDescription, objective: Objective) -> Reduction {
+    try_reduce(machine, objective, &ReduceOptions::default())
+        .expect("reduction of a valid machine under default options cannot fail")
+}
+
+/// Runs the full reduction pipeline with explicit input validation and an
+/// optional step budget, reporting failures as [`RmdError`] instead of
+/// panicking.
+///
+/// # Errors
+///
+/// - [`RmdError::LimitExceeded`] / [`RmdError::DegenerateInput`] if the
+///   input violates [`ReduceOptions::limits`];
+/// - [`RmdError::BudgetExhausted`] if [`ReduceOptions::max_steps`] runs
+///   out during generating-set construction;
+/// - [`RmdError::InvalidMachine`] if an internal build step rejects its
+///   machine (unreachable for valid inputs; kept as a typed error so
+///   hostile inputs can never convert a bug into a panic).
+pub fn try_reduce(
+    machine: &MachineDescription,
+    objective: Objective,
+    options: &ReduceOptions,
+) -> Result<Reduction, RmdError> {
+    options.limits.validate(machine)?;
+    let mut budget = match options.max_steps {
+        Some(limit) => StepBudget::new(limit),
+        None => StepBudget::unlimited(),
+    };
+
     // Step 1: classes and the class-level matrix.
     let f_ops = ForbiddenMatrix::compute(machine);
     let classes = ClassPartition::compute(machine, &f_ops);
-    let class_machine = classes
-        .class_machine(machine)
-        .expect("class machine of a valid machine is valid");
+    let class_machine = classes.class_machine(machine)?;
     let matrix = ForbiddenMatrix::compute(&class_machine);
 
     // Step 2: generating set of maximal resources.
-    let genset = generating_set(&matrix);
+    let genset = generating_set_budgeted(&matrix, &mut budget)?;
     let genset_size = genset.len();
     let pruned = prune_dominated(&genset);
     let pruned_size = pruned.len();
+
+    // Cover selection touches every (resource, latency) pair; charge it
+    // against the same budget before doing the work.
+    budget.charge((pruned.len() as u64).saturating_mul(matrix.num_ops() as u64))?;
 
     // Step 3: cover selection.
     let selection = select(&matrix, &pruned, objective);
@@ -90,7 +134,7 @@ pub fn reduce(machine: &MachineDescription, objective: Objective) -> Reduction {
         }
         ob.finish();
     }
-    let reduced_classes = b.build().expect("reduced class machine is valid");
+    let reduced_classes = b.build()?;
 
     // Materialize the reduced full machine: each original op carries its
     // class's reduced table.
@@ -112,9 +156,9 @@ pub fn reduce(machine: &MachineDescription, objective: Objective) -> Reduction {
         }
         ob.finish();
     }
-    let reduced = b.build().expect("reduced machine is valid");
+    let reduced = b.build()?;
 
-    Reduction {
+    Ok(Reduction {
         classes,
         class_machine,
         matrix,
@@ -123,7 +167,7 @@ pub fn reduce(machine: &MachineDescription, objective: Objective) -> Reduction {
         selection,
         reduced_classes,
         reduced,
-    }
+    })
 }
 
 #[cfg(test)]

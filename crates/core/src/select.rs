@@ -158,7 +158,7 @@ pub fn select(f: &ForbiddenMatrix, pruned: &[SynthResource], objective: Objectiv
             // already-selected usages). new_words is always 0 for
             // ResUses.
             let score = (-new_words, newly, sum, -new_usages);
-            if best.as_ref().is_none_or(|(_, s)| score > *s) {
+            if best.as_ref().map_or(true, |(_, s)| score > *s) {
                 best = Some((c, score));
             }
         }

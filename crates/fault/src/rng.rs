@@ -1,0 +1,98 @@
+//! A tiny deterministic PRNG for the harness.
+//!
+//! The harness must be seed-reproducible across platforms and build in
+//! an air-gapped environment, so it carries its own splitmix64 instead
+//! of depending on the `rand` crate. Splitmix64 is the standard seeding
+//! generator of the xoshiro family: a 64-bit counter with an invertible
+//! finalizer, full period, and no state beyond one word.
+
+/// Splitmix64: one `u64` of state, full 2^64 period.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..n`. Returns 0 for `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            // Multiply-shift range reduction; bias is < 2^-32 for the
+            // small ranges the harness draws from.
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+
+    /// A uniform index into a slice of `len` elements (`len > 0`).
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Mixes an operator tag and a per-mutant counter into a base seed so
+/// each (operator, index) pair gets an independent stream.
+pub fn mix_seed(base: u64, tag: u64, index: u64) -> u64 {
+    let mut r = SplitMix64::new(base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    r.next_u64() ^ SplitMix64::new(index.wrapping_add(0xA076_1D64_78BD_642F)).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn mix_seed_separates_operators_and_indices() {
+        assert_ne!(mix_seed(0, 1, 0), mix_seed(0, 2, 0));
+        assert_ne!(mix_seed(0, 1, 0), mix_seed(0, 1, 1));
+        assert_eq!(mix_seed(3, 1, 2), mix_seed(3, 1, 2));
+    }
+}

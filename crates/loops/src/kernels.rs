@@ -433,8 +433,12 @@ pub fn sqrt_newton(ops: &OpSet, unroll: usize) -> DepGraph {
     g
 }
 
+/// A kernel constructor: builds a dependence graph of roughly the given
+/// size over the machine's operation set.
+pub type KernelFn = fn(&OpSet, usize) -> DepGraph;
+
 /// All kernel templates as `(name, constructor)` pairs.
-pub fn all() -> Vec<(&'static str, fn(&OpSet, usize) -> DepGraph)> {
+pub fn all() -> Vec<(&'static str, KernelFn)> {
     vec![
         ("hydro", hydro as fn(&OpSet, usize) -> DepGraph),
         ("inner_product", inner_product),

@@ -8,8 +8,6 @@ use core::fmt;
 /// Resource ids are dense indices assigned in declaration order by
 /// [`MachineBuilder`](crate::MachineBuilder).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct ResourceId(pub u32);
 
 /// Identifies an operation within a machine description.
@@ -17,8 +15,6 @@ pub struct ResourceId(pub u32);
 /// Operation ids are dense indices assigned in declaration order by
 /// [`MachineBuilder`](crate::MachineBuilder).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct OpId(pub u32);
 
 impl ResourceId {

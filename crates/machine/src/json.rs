@@ -1,0 +1,577 @@
+//! Dependency-free JSON serialization for machine descriptions.
+//!
+//! Replaces the former `serde`/`serde_json` dependency with a small
+//! hand-rolled encoder and recursive-descent parser, keeping the exact
+//! wire shape the serde derives produced:
+//!
+//! ```json
+//! {
+//!   "name": "m",
+//!   "resources": [{"name": "r0"}],
+//!   "operations": [
+//!     {"name": "op0",
+//!      "table": {"usages": [{"resource": 0, "cycle": 1}]},
+//!      "base": null,
+//!      "weight": 1.0}
+//!   ]
+//! }
+//! ```
+//!
+//! Deserialization re-validates through
+//! [`MachineDescription::assemble`], so structurally well-formed JSON
+//! that describes an invalid machine (dangling resource ids, empty
+//! operations) is rejected just like any other construction path.
+
+use crate::ids::ResourceId;
+use crate::machine::{MachineDescription, Operation, Resource};
+use crate::table::ReservationTable;
+use core::fmt;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Why a JSON document could not be turned into a machine description.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum JsonError {
+    /// The text is not syntactically valid JSON.
+    Syntax {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The JSON is valid but not shaped like a machine description.
+    Shape(String),
+    /// The described machine failed semantic validation.
+    Invalid(crate::MachineError),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax { offset, message } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            JsonError::Shape(msg) => write!(f, "unexpected JSON shape: {msg}"),
+            JsonError::Invalid(e) => write!(f, "invalid machine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::MachineError> for JsonError {
+    fn from(e: crate::MachineError) -> Self {
+        JsonError::Invalid(e)
+    }
+}
+
+/// Serialize a machine description to compact JSON.
+pub fn to_json(m: &MachineDescription) -> String {
+    let mut out = String::new();
+    out.push_str("{\"name\":");
+    write_string(&mut out, m.name());
+    out.push_str(",\"resources\":[");
+    for (i, r) in m.resources().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_string(&mut out, r.name());
+        out.push('}');
+    }
+    out.push_str("],\"operations\":[");
+    for (i, (_, op)) in m.ops().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_string(&mut out, op.name());
+        out.push_str(",\"table\":{\"usages\":[");
+        for (j, u) in op.table().usages().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"resource\":{},\"cycle\":{}}}", u.resource.0, u.cycle);
+        }
+        out.push_str("]},\"base\":");
+        match op.base() {
+            Some(b) => write_string(&mut out, b),
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\"weight\":{}", fmt_f64(op.weight()));
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parse a machine description from JSON produced by [`to_json`] (or any
+/// JSON of the same shape), re-validating all machine invariants.
+pub fn from_json(text: &str) -> Result<MachineDescription, JsonError> {
+    let value = Parser::new(text).parse_document()?;
+    let obj = value.as_object("machine description")?;
+    let name = obj.required("name")?.as_string("name")?.to_owned();
+
+    let mut resources = Vec::new();
+    for (i, rv) in obj.required("resources")?.as_array("resources")?.iter().enumerate() {
+        let robj = rv.as_object(&format!("resources[{i}]"))?;
+        let rname = robj.required("name")?.as_string("resource name")?;
+        resources.push(Resource::new(rname));
+    }
+
+    let mut operations = Vec::new();
+    for (i, ov) in obj.required("operations")?.as_array("operations")?.iter().enumerate() {
+        let oobj = ov.as_object(&format!("operations[{i}]"))?;
+        let oname = oobj.required("name")?.as_string("operation name")?;
+        let table_obj = oobj.required("table")?.as_object("table")?;
+        let mut table = ReservationTable::new();
+        for (j, uv) in table_obj.required("usages")?.as_array("usages")?.iter().enumerate() {
+            let uobj = uv.as_object(&format!("usages[{j}]"))?;
+            let resource = uobj.required("resource")?.as_u32("resource")?;
+            let cycle = uobj.required("cycle")?.as_u32("cycle")?;
+            table.reserve(ResourceId(resource), cycle);
+        }
+        let base = match oobj.get("base") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v.as_string("base")?.to_owned()),
+        };
+        let weight = match oobj.get("weight") {
+            None => 1.0,
+            Some(v) => v.as_f64("weight")?,
+        };
+        operations.push(Operation::new(oname, table, base, weight));
+    }
+
+    Ok(MachineDescription::assemble(name, resources, operations)?)
+}
+
+/// Render a float so it parses back exactly; integral values keep a
+/// trailing `.0` to stay visibly floating-point, as serde_json did.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, JsonError> {
+        match self {
+            Value::Object(m) => Ok(m),
+            other => Err(JsonError::Shape(format!(
+                "expected {what} to be an object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(v) => Ok(v),
+            other => Err(JsonError::Shape(format!(
+                "expected {what} to be an array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_string(&self, what: &str) -> Result<&str, JsonError> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(JsonError::Shape(format!(
+                "expected {what} to be a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, JsonError> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(JsonError::Shape(format!(
+                "expected {what} to be a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_u32(&self, what: &str) -> Result<u32, JsonError> {
+        let n = self.as_f64(what)?;
+        if n.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&n) {
+            Ok(n as u32)
+        } else {
+            Err(JsonError::Shape(format!(
+                "expected {what} to be a u32, found {n}"
+            )))
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a bool",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+trait ObjectExt {
+    fn required(&self, key: &str) -> Result<&Value, JsonError>;
+}
+
+impl ObjectExt for BTreeMap<String, Value> {
+    fn required(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::Shape(format!("missing key `{key}`")))
+    }
+}
+
+/// Minimal recursive-descent JSON parser with a depth limit.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 64;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, JsonError> {
+        let v = self.parse_value(0)?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError::Syntax {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs: decode `\uD8xx\uDCxx`.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            s.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar; the source is a &str so the
+                    // bytes are valid UTF-8.
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    s.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineBuilder;
+
+    fn sample() -> MachineDescription {
+        let mut b = MachineBuilder::new("m");
+        let r0 = b.resource("alu");
+        let r1 = b.resource("mem \"port\"");
+        b.operation("add").usage(r0, 0).usage(r1, 2).finish();
+        b.operation("ld")
+            .usage(r1, 0)
+            .base("load")
+            .weight(2.5)
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let m = sample();
+        let text = to_json(&m);
+        let back = from_json(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn weights_and_bases_survive() {
+        let m = sample();
+        let back = from_json(&to_json(&m)).unwrap();
+        let (_, op) = back.ops().nth(1).unwrap();
+        assert_eq!(op.base(), Some("load"));
+        assert_eq!(op.weight(), 2.5);
+    }
+
+    #[test]
+    fn dangling_resource_id_is_rejected() {
+        let text = r#"{"name":"m","resources":[{"name":"r0"}],
+            "operations":[{"name":"op0",
+                "table":{"usages":[{"resource":7,"cycle":0}]},
+                "base":null,"weight":1.0}]}"#;
+        match from_json(text) {
+            Err(JsonError::Invalid(crate::MachineError::UnknownResource { .. })) => {}
+            other => panic!("expected UnknownResource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_offsets() {
+        match from_json("{\"name\": }") {
+            Err(JsonError::Syntax { offset, .. }) => assert!(offset > 0),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_errors_name_the_missing_key() {
+        let e = from_json("{\"name\":\"m\"}").unwrap_err();
+        assert!(e.to_string().contains("resources"), "{e}");
+    }
+}

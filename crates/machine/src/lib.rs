@@ -45,6 +45,8 @@
 pub mod alternatives;
 mod builder;
 mod ids;
+#[cfg(feature = "json")]
+pub mod json;
 mod machine;
 pub mod mdl;
 pub mod models;

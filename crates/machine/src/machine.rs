@@ -7,7 +7,6 @@ use std::collections::HashMap;
 
 /// A named hardware resource (pipeline stage, bus, register port, ...).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Resource {
     name: String,
 }
@@ -25,7 +24,6 @@ impl Resource {
 
 /// A named operation together with its resource requirements.
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Operation {
     name: String,
     table: ReservationTable,
@@ -130,38 +128,6 @@ pub struct MachineDescription {
     resources: Vec<Resource>,
     operations: Vec<Operation>,
     op_index: HashMap<String, OpId>,
-}
-
-#[cfg(feature = "serde")]
-mod serde_impl {
-    use super::*;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    #[derive(Serialize, Deserialize)]
-    struct Repr {
-        name: String,
-        resources: Vec<Resource>,
-        operations: Vec<Operation>,
-    }
-
-    impl Serialize for MachineDescription {
-        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-            Repr {
-                name: self.name.clone(),
-                resources: self.resources.clone(),
-                operations: self.operations.clone(),
-            }
-            .serialize(s)
-        }
-    }
-
-    impl<'de> Deserialize<'de> for MachineDescription {
-        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            let repr = Repr::deserialize(d)?;
-            MachineDescription::assemble(repr.name, repr.resources, repr.operations)
-                .map_err(serde::de::Error::custom)
-        }
-    }
 }
 
 impl MachineDescription {

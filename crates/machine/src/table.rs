@@ -6,7 +6,6 @@ use core::fmt;
 /// A single reservation-table entry: `resource` is reserved for exclusive
 /// use in `cycle` (relative to the issue cycle of the operation).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Usage {
     /// The resource being reserved.
     pub resource: ResourceId,
@@ -49,7 +48,6 @@ impl fmt::Display for Usage {
 /// assert!(t.uses(ResourceId(3), 2));
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReservationTable {
     usages: Vec<Usage>,
 }

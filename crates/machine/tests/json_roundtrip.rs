@@ -1,0 +1,51 @@
+//! JSON (de)serialization round-trips for machine descriptions, using
+//! the in-tree `json` module (no external serialization dependencies).
+
+#![cfg(feature = "json")]
+
+use rmd_machine::json::{from_json, to_json, JsonError};
+use rmd_machine::models::all_machines;
+use rmd_machine::MachineError;
+
+#[test]
+fn models_round_trip_through_json() {
+    for m in all_machines() {
+        let text = to_json(&m);
+        let back = from_json(&text).expect("deserialize");
+        assert_eq!(m, back, "{}", m.name());
+        // Derived state (the name index) must be rebuilt on deserialize.
+        for (id, op) in m.ops() {
+            assert_eq!(back.op_by_name(op.name()), Some(id));
+        }
+    }
+}
+
+#[test]
+fn invalid_json_machines_are_rejected() {
+    // An operation with an out-of-range resource id must fail validation
+    // at deserialization time, not at first use.
+    let text = r#"{
+        "name": "bad",
+        "resources": [{"name": "r0"}],
+        "operations": [{
+            "name": "x",
+            "table": {"usages": [{"resource": 7, "cycle": 0}]},
+            "base": null,
+            "weight": 1.0
+        }]
+    }"#;
+    match from_json(text) {
+        Err(JsonError::Invalid(MachineError::UnknownResource { .. })) => {}
+        other => panic!("undeclared resource must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_json_reports_syntax_errors() {
+    for bad in ["", "{", "{\"name\": }", "[1,2,", "{\"a\":1}trailing"] {
+        match from_json(bad) {
+            Err(JsonError::Syntax { .. }) => {}
+            other => panic!("expected syntax error for {bad:?}, got {other:?}"),
+        }
+    }
+}

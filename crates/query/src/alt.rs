@@ -46,12 +46,11 @@ pub fn check_with_alt<Q: ContentionQuery + ?Sized>(
     if query.check(op, cycle) {
         return Some(op);
     }
-    for &alt in groups.alternatives_of(op) {
-        if alt != op && query.check(alt, cycle) {
-            return Some(alt);
-        }
-    }
-    None
+    groups
+        .alternatives_of(op)
+        .iter()
+        .copied()
+        .find(|&alt| alt != op && query.check(alt, cycle))
 }
 
 #[cfg(test)]

@@ -86,9 +86,34 @@ impl BitvecModule {
         self.owner.is_some()
     }
 
+    /// Fault-injection hook: XORs `mask` into word `index` of the packed
+    /// reserved table, growing the table if needed.
+    ///
+    /// This models in-memory corruption of the bitvector state and
+    /// exists solely for the `rmd-fault` mutation harness, whose
+    /// differential oracle must prove that a flipped word changes query
+    /// answers relative to the discrete representation. Schedulers must
+    /// never call it: a corrupted table violates the owner/registry
+    /// invariants that `assign` and `free` debug-assert.
+    pub fn corrupt_word(&mut self, index: usize, mask: u64) {
+        if index >= self.words.len() {
+            self.words.resize(index + 1, 0);
+        }
+        self.words[index] ^= mask;
+    }
+
     /// The word layout in use.
     pub fn layout(&self) -> WordLayout {
         self.layout
+    }
+
+    /// The instance holding resource `r` at `cycle`, if the module is in
+    /// update mode and the slot is reserved. Always `None` in optimistic
+    /// mode, where no owner fields exist ([`Self::in_update_mode`]
+    /// distinguishes the two cases).
+    pub fn owner_of(&self, r: u32, cycle: u32) -> Option<OpInstance> {
+        let owner = self.owner.as_ref()?;
+        owner.get(self.slot(r, cycle)).copied().flatten()
     }
 
     fn ensure_horizon(&mut self, cycles: u32) {

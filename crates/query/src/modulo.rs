@@ -196,6 +196,10 @@ impl ContentionQuery for ModuloDiscreteModule {
     }
 }
 
+/// The compiled word operations of one (op, issue-slot) pair:
+/// `(word index, mask)` per touched word.
+type WordMasks = Vec<(u32, u64)>;
+
 /// Bitvector-representation modulo reservation table.
 ///
 /// The II slots are packed `k` cycle-bitvectors per word
@@ -209,7 +213,7 @@ pub struct ModuloBitvecModule {
     ii: u32,
     words: Vec<u64>,
     /// Lazily compiled masks: `masks[op][cycle mod ii]`.
-    masks: Vec<Vec<Option<Vec<(u32, u64)>>>>,
+    masks: Vec<Vec<Option<WordMasks>>>,
     fits: Vec<bool>,
     owner: Option<Vec<Option<OpInstance>>>,
     registry: Registry,
@@ -342,12 +346,11 @@ impl ContentionQuery for ModuloBitvecModule {
             debug_assert_eq!(self.words[w as usize] & m, 0, "assign over a reservation");
             self.words[w as usize] |= m;
         }
-        if self.owner.is_some() {
-            for i in 0..self.usages.of(op).len() {
-                let (r, c) = self.usages.of(op)[i];
-                let nr = self.usages.num_resources;
+        if let Some(owner) = &mut self.owner {
+            let nr = self.usages.num_resources;
+            for &(r, c) in self.usages.of(op) {
                 let s = ((cycle as u64 + c as u64) % self.ii as u64) as usize * nr + r as usize;
-                self.owner.as_mut().expect("update mode")[s] = Some(inst);
+                owner[s] = Some(inst);
             }
         }
         self.registry.insert(inst, op, cycle);
@@ -430,12 +433,11 @@ impl ContentionQuery for ModuloBitvecModule {
             debug_assert_eq!(self.words[w as usize] & m, m, "free of unreserved bits");
             self.words[w as usize] &= !m;
         }
-        if self.owner.is_some() {
+        if let Some(owner) = &mut self.owner {
             let nr = self.usages.num_resources;
-            for i in 0..self.usages.of(op).len() {
-                let (r, c) = self.usages.of(op)[i];
+            for &(r, c) in self.usages.of(op) {
                 let s = ((cycle as u64 + c as u64) % self.ii as u64) as usize * nr + r as usize;
-                self.owner.as_mut().expect("update mode")[s] = None;
+                owner[s] = None;
             }
         }
     }

@@ -195,7 +195,10 @@ impl IterativeModuloScheduler {
         let mut per_attempt_ratio = Vec::new();
         let mut attempts = 0u32;
 
-        let mut ii = mii;
+        // A caller-supplied MII of 0 is meaningless (an II is at least 1
+        // cycle) and would underflow the slot-window arithmetic; clamp
+        // rather than panic.
+        let mut ii = mii.max(1);
         while ii <= self.config.max_ii {
             attempts += 1;
             let mut module: Box<dyn ContentionQuery> = match repr {
@@ -345,11 +348,13 @@ impl IterativeModuloScheduler {
             }
         }
 
+        // Queue drained: every node should have a placement. If any is
+        // missing the attempt is reported as failed (next II) rather than
+        // panicking — an invariant breach must not take the process down.
+        let times: Option<Vec<u32>> = time.into_iter().collect();
+        debug_assert!(times.is_some(), "queue drained with unscheduled nodes");
         AttemptOutcome {
-            times: Some((
-                time.into_iter().map(|t| t.expect("all scheduled")).collect(),
-                chosen,
-            )),
+            times: times.map(|ts| (ts, chosen)),
             decisions,
             reversed_by_resource,
             reversed_by_dependence,
@@ -398,7 +403,7 @@ mod tests {
         let mut g = DepGraph::new();
         let nodes: Vec<_> = names
             .iter()
-            .map(|n| g.add_node(m.op_by_name(n).unwrap()))
+            .map(|n| g.add_node(m.op_by_name(n).expect("test setup")))
             .collect();
         for w in nodes.windows(2) {
             g.add_edge(w[0], w[1], delay, 0, DepKind::Flow);
@@ -415,42 +420,42 @@ mod tests {
             Representation::Discrete,
             Representation::Bitvec(WordLayout::widest(64, m.num_resources())),
         ] {
-            let r = ims.schedule(&g, &m, repr).unwrap();
+            let r = ims.schedule(&g, &m, repr).expect("test setup");
             assert_eq!(r.ii, r.mii, "{repr:?}");
-            validate(&g, &m, &r).unwrap();
+            validate(&g, &m, &r).expect("test setup");
         }
     }
 
     #[test]
     fn recurrence_bounds_ii() {
         let m = cydra5_subset();
-        let fadd = m.op_by_name("fadd").unwrap();
+        let fadd = m.op_by_name("fadd").expect("test setup");
         let mut g = DepGraph::new();
         let a = g.add_node(fadd);
         let b = g.add_node(fadd);
         g.add_edge(a, b, 7, 0, DepKind::Flow);
         g.add_edge(b, a, 7, 1, DepKind::Flow); // delay 14, distance 1
         let ims = IterativeModuloScheduler::new(ImsConfig::default());
-        let r = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+        let r = ims.schedule(&g, &m, Representation::Discrete).expect("test setup");
         assert_eq!(r.mii, 14);
         assert_eq!(r.ii, 14);
-        validate(&g, &m, &r).unwrap();
+        validate(&g, &m, &r).expect("test setup");
     }
 
     #[test]
     fn resource_pressure_forces_ii() {
         let m = cydra5_subset();
         // 4 independent fadds: fadd_in is used once per op -> ResMII 4.
-        let fadd = m.op_by_name("fadd").unwrap();
+        let fadd = m.op_by_name("fadd").expect("test setup");
         let mut g = DepGraph::new();
         for _ in 0..4 {
             g.add_node(fadd);
         }
         let ims = IterativeModuloScheduler::new(ImsConfig::default());
-        let r = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+        let r = ims.schedule(&g, &m, Representation::Discrete).expect("test setup");
         assert!(r.mii >= 4);
         assert_eq!(r.ii, r.mii);
-        validate(&g, &m, &r).unwrap();
+        validate(&g, &m, &r).expect("test setup");
     }
 
     #[test]
@@ -465,14 +470,14 @@ mod tests {
             5,
         );
         let ims = IterativeModuloScheduler::new(ImsConfig::default());
-        let a = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+        let a = ims.schedule(&g, &m, Representation::Discrete).expect("test setup");
         let b = ims
             .schedule(
                 &g,
                 &m,
                 Representation::Bitvec(WordLayout::widest(64, m.num_resources())),
             )
-            .unwrap();
+            .expect("test setup");
         assert_eq!(a.times, b.times);
         assert_eq!(a.ii, b.ii);
         assert_eq!(a.decisions, b.decisions);
@@ -483,7 +488,7 @@ mod tests {
         let m = cydra5_subset();
         let g = chain(&m, &["load.w.0", "fadd", "store.w.0"], 8);
         let ims = IterativeModuloScheduler::new(ImsConfig::default());
-        let r = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+        let r = ims.schedule(&g, &m, Representation::Discrete).expect("test setup");
         assert!(r.decisions >= g.num_nodes() as u64);
         assert_eq!(r.per_attempt_ratio.len(), r.attempts as usize);
         assert!(r.counters.check.calls > 0);
@@ -504,8 +509,8 @@ mod edge_tests {
         let mut b = MachineBuilder::new("tight");
         let r = b.resource("r");
         b.operation("x").usage(r, 0).finish();
-        let m = b.build().unwrap();
-        let x = m.op_by_name("x").unwrap();
+        let m = b.build().expect("test setup");
+        let x = m.op_by_name("x").expect("test setup");
         (m, x)
     }
 
@@ -532,7 +537,7 @@ mod edge_tests {
         g.add_node(x);
         let r = IterativeModuloScheduler::default()
             .schedule(&g, &m, Representation::Discrete)
-            .unwrap();
+            .expect("test setup");
         assert_eq!(r.ii, 1);
         assert_eq!(r.times, vec![0]);
         assert_eq!(r.decisions, 1);
@@ -547,10 +552,10 @@ mod edge_tests {
         g.add_edge(n, n, 5, 1, DepKind::Flow); // RecMII 5
         let r = IterativeModuloScheduler::default()
             .schedule(&g, &m, Representation::Discrete)
-            .unwrap();
+            .expect("test setup");
         assert_eq!(r.mii, 5);
         assert_eq!(r.ii, 5);
-        crate::validate(&g, &m, &r).unwrap();
+        crate::validate(&g, &m, &r).expect("test setup");
     }
 
     #[test]
@@ -593,16 +598,16 @@ mod edge_tests {
         let r1 = b.resource("b");
         b.operation("x").usage(r0, 0).finish();
         b.operation("y").usage(r1, 0).finish();
-        let m = b.build().unwrap();
+        let m = b.build().expect("test setup");
         let mut g = DepGraph::new();
-        let x = g.add_node(m.op_by_name("x").unwrap());
-        let y = g.add_node(m.op_by_name("y").unwrap());
+        let x = g.add_node(m.op_by_name("x").expect("test setup"));
+        let y = g.add_node(m.op_by_name("y").expect("test setup"));
         g.add_edge(x, y, 0, 0, DepKind::Anti);
         let r = IterativeModuloScheduler::default()
             .schedule(&g, &m, Representation::Discrete)
-            .unwrap();
+            .expect("test setup");
         assert_eq!(r.ii, 1);
         assert!(r.times[y.index()] >= r.times[x.index()]);
-        crate::validate(&g, &m, &r).unwrap();
+        crate::validate(&g, &m, &r).expect("test setup");
     }
 }

@@ -29,9 +29,9 @@
 //! use rmd_sched::{DepGraph, DepKind, ImsConfig, IterativeModuloScheduler, Representation};
 //!
 //! let m = cydra5_subset();
-//! let load = m.op_by_name("load.w.0").unwrap();
-//! let fadd = m.op_by_name("fadd").unwrap();
-//! let store = m.op_by_name("store.w.0").unwrap();
+//! let load = m.op_by_name("load.w.0").expect("test setup");
+//! let fadd = m.op_by_name("fadd").expect("test setup");
+//! let store = m.op_by_name("store.w.0").expect("test setup");
 //!
 //! // for i { a[i] = b[i] + c } with the add depending on the load.
 //! let mut g = DepGraph::new();
@@ -42,9 +42,9 @@
 //! g.add_edge(n1, n2, 7, 0, DepKind::Flow);
 //!
 //! let ims = IterativeModuloScheduler::new(ImsConfig::default());
-//! let result = ims.schedule(&g, &m, Representation::Discrete).unwrap();
+//! let result = ims.schedule(&g, &m, Representation::Discrete).expect("test setup");
 //! assert_eq!(result.ii, result.mii); // achieves the minimum II
-//! rmd_sched::validate(&g, &m, &result).unwrap();
+//! rmd_sched::validate(&g, &m, &result).expect("test setup");
 //! ```
 
 #![warn(missing_docs)]

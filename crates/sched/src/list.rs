@@ -50,15 +50,15 @@ pub struct ListResult {
 /// use rmd_sched::{BoundaryOp, DepGraph, DepKind, ListScheduler, Representation};
 ///
 /// let m = mips_r3000();
-/// let div = m.op_by_name("div.s").unwrap();
-/// let alu = m.op_by_name("alu").unwrap();
+/// let div = m.op_by_name("div.s").expect("test setup");
+/// let alu = m.op_by_name("alu").expect("test setup");
 /// let mut g = DepGraph::new();
 /// g.add_node(alu);
 ///
 /// // A divide issued 3 cycles before block entry still holds the divider.
 /// let sched = ListScheduler::with_boundary(vec![BoundaryOp { op: div, issue_cycle: -3 }]);
 /// let r = sched.schedule(&g, &m, Representation::Discrete);
-/// rmd_sched::validate_list(&g, &m, &r).unwrap();
+/// rmd_sched::validate_list(&g, &m, &r).expect("test setup");
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ListScheduler {
@@ -277,21 +277,21 @@ mod tests {
     #[test]
     fn respects_dependences_and_resources() {
         let m = mips_r3000();
-        let load = m.op_by_name("load").unwrap();
-        let alu = m.op_by_name("alu").unwrap();
+        let load = m.op_by_name("load").expect("test setup");
+        let alu = m.op_by_name("alu").expect("test setup");
         let mut g = DepGraph::new();
         let a = g.add_node(load);
         let b = g.add_node(alu);
         g.add_edge(a, b, 2, 0, DepKind::Flow);
         let r = ListScheduler::new().schedule(&g, &m, Representation::Discrete);
         assert!(r.times[b.index()] >= r.times[a.index()] + 2);
-        validate_list(&g, &m, &r).unwrap();
+        validate_list(&g, &m, &r).expect("test setup");
     }
 
     #[test]
     fn single_issue_machine_serializes() {
         let m = mips_r3000();
-        let alu = m.op_by_name("alu").unwrap();
+        let alu = m.op_by_name("alu").expect("test setup");
         let mut g = DepGraph::new();
         for _ in 0..4 {
             g.add_node(alu);
@@ -300,13 +300,13 @@ mod tests {
         let mut ts = r.times.clone();
         ts.sort_unstable();
         assert_eq!(ts, vec![0, 1, 2, 3]);
-        validate_list(&g, &m, &r).unwrap();
+        validate_list(&g, &m, &r).expect("test setup");
     }
 
     #[test]
     fn dangling_divider_delays_the_block() {
         let m = mips_r3000();
-        let div = m.op_by_name("div.s").unwrap();
+        let div = m.op_by_name("div.s").expect("test setup");
         let mut g = DepGraph::new();
         let d = g.add_node(div);
         // A div.s issued 4 cycles before entry holds fp-div through
@@ -318,7 +318,7 @@ mod tests {
         }]);
         let r = sched.schedule(&g, &m, Representation::Discrete);
         assert!(r.times[d.index()] > 0, "{:?}", r.times);
-        validate_list(&g, &m, &r).unwrap();
+        validate_list(&g, &m, &r).expect("test setup");
 
         // Without the dangling op it starts at 0.
         let r0 = ListScheduler::new().schedule(&g, &m, Representation::Discrete);
@@ -332,7 +332,7 @@ mod tests {
         let mut g = DepGraph::new();
         let nodes: Vec<_> = names
             .iter()
-            .map(|n| g.add_node(m.op_by_name(n).unwrap()))
+            .map(|n| g.add_node(m.op_by_name(n).expect("test setup")))
             .collect();
         g.add_edge(nodes[0], nodes[1], 2, 0, DepKind::Flow);
         g.add_edge(nodes[1], nodes[3], 1, 0, DepKind::Flow);
@@ -345,14 +345,14 @@ mod tests {
             Representation::Bitvec(WordLayout::widest(64, m.num_resources())),
         );
         assert_eq!(d.times, v.times);
-        validate_list(&g, &m, &d).unwrap();
+        validate_list(&g, &m, &d).expect("test setup");
     }
 
     #[test]
     fn trace_carries_dangling_reservations() {
         let m = mips_r3000();
-        let div = m.op_by_name("div.s").unwrap();
-        let alu = m.op_by_name("alu").unwrap();
+        let div = m.op_by_name("div.s").expect("test setup");
+        let alu = m.op_by_name("alu").expect("test setup");
         // Block 1: a div.s issued near its end dangles into block 2.
         let mut b1 = DepGraph::new();
         let a = b1.add_node(alu);
@@ -374,8 +374,8 @@ mod tests {
             tr.blocks[1].times[0]
         );
         // And each block validates with its inherited boundary.
-        crate::validate_list(&b1, &m, &tr.blocks[0]).unwrap();
-        crate::validate_list(&b2, &m, &tr.blocks[1]).unwrap();
+        crate::validate_list(&b1, &m, &tr.blocks[0]).expect("test setup");
+        crate::validate_list(&b2, &m, &tr.blocks[1]).expect("test setup");
         assert!(tr.total_cycles >= tr.entries[1]);
     }
 
@@ -389,8 +389,8 @@ mod tests {
             .chunks(2)
             .map(|pair| {
                 let mut g = DepGraph::new();
-                let x = g.add_node(m.op_by_name(pair[0]).unwrap());
-                let y = g.add_node(m.op_by_name(pair[1]).unwrap());
+                let x = g.add_node(m.op_by_name(pair[0]).expect("test setup"));
+                let y = g.add_node(m.op_by_name(pair[1]).expect("test setup"));
                 g.add_edge(x, y, 1, 0, DepKind::Flow);
                 g
             })
@@ -412,13 +412,13 @@ mod tests {
     #[test]
     fn zero_delay_ties_schedule_predecessor_first() {
         let m = mips_r3000();
-        let alu = m.op_by_name("alu").unwrap();
+        let alu = m.op_by_name("alu").expect("test setup");
         let mut g = DepGraph::new();
         let a = g.add_node(alu);
         let b = g.add_node(alu);
         g.add_edge(a, b, 0, 0, DepKind::Anti);
         let r = ListScheduler::new().schedule(&g, &m, Representation::Discrete);
         assert!(r.times[b.index()] >= r.times[a.index()]);
-        validate_list(&g, &m, &r).unwrap();
+        validate_list(&g, &m, &r).expect("test setup");
     }
 }

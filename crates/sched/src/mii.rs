@@ -120,13 +120,13 @@ mod tests {
         let bus = b.resource("bus");
         b.operation("add").usage(alu, 0).usage(bus, 1).finish();
         b.operation("long").usage(alu, 0).usage(alu, 3).finish();
-        b.build().unwrap()
+        b.build().expect("test setup")
     }
 
     #[test]
     fn res_mii_counts_contended_resource() {
         let m = machine();
-        let add = m.op_by_name("add").unwrap();
+        let add = m.op_by_name("add").expect("test setup");
         let mut g = DepGraph::new();
         for _ in 0..3 {
             g.add_node(add);
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn res_mii_respects_self_overlap() {
         let m = machine();
-        let long = m.op_by_name("long").unwrap();
+        let long = m.op_by_name("long").expect("test setup");
         let mut g = DepGraph::new();
         g.add_node(long);
         // `long` uses alu at cycles 0 and 3: II=1 and II=3 collapse them;
@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn rec_mii_of_simple_circuit() {
         let m = machine();
-        let add = m.op_by_name("add").unwrap();
+        let add = m.op_by_name("add").expect("test setup");
         let mut g = DepGraph::new();
         let a = g.add_node(add);
         let b = g.add_node(add);
@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn rec_mii_takes_worst_circuit() {
         let m = machine();
-        let add = m.op_by_name("add").unwrap();
+        let add = m.op_by_name("add").expect("test setup");
         let mut g = DepGraph::new();
         let a = g.add_node(add);
         let b = g.add_node(add);
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn acyclic_graph_has_rec_mii_one() {
         let m = machine();
-        let add = m.op_by_name("add").unwrap();
+        let add = m.op_by_name("add").expect("test setup");
         let mut g = DepGraph::new();
         let a = g.add_node(add);
         let b = g.add_node(add);

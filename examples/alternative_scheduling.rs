@@ -43,7 +43,7 @@ fn main() {
     section("3. With check_with_alt: loads and stores spread over both ports");
     // MII under alternatives: balanced port pressure halves the bound;
     // start the search there and let the scheduler escalate if needed.
-    let balanced_mii = (mii::mii(&g, &m) + 1) / 2;
+    let balanced_mii = mii::mii(&g, &m).div_ceil(2);
     let alt = ims
         .schedule_with_alternatives(&g, &m, &groups, Representation::Discrete, balanced_mii)
         .unwrap();

@@ -45,7 +45,7 @@ fn main() {
 
     section("3. Schedule against the REDUCED description (bitvector)");
     let red = reduce(&machine, Objective::KCycleWord { k: 4 });
-    let k = (64 / red.reduced.num_resources() as u32).max(1).min(4);
+    let k = (64 / red.reduced.num_resources() as u32).clamp(1, 4);
     let fast = ims
         .schedule_with_mii(
             &g,

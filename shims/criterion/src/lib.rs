@@ -1,0 +1,206 @@
+//! In-tree stand-in for the subset of the `criterion` benchmarking API
+//! used by the workspace's benches, so offline builds never touch a
+//! registry.
+//!
+//! Measurement is intentionally simple: each benchmark body runs for a
+//! calibrated iteration count and reports the mean wall-clock time per
+//! iteration. There is no statistical analysis, HTML report, or
+//! comparison against saved baselines — the point is that `cargo bench`
+//! compiles, runs, and prints usable numbers without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores throughput hints.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I: fmt::Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the parameter being benchmarked.
+    pub fn from_parameter<D: fmt::Display>(param: D) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Build an id from a function name and a parameter.
+    pub fn new<D: fmt::Display>(function: &str, param: D) -> Self {
+        BenchmarkId(format!("{function}/{param}"))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Throughput hints (accepted and ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark body; `iter` does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it `self.iters` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrate an iteration count, time the body, and print the mean.
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    // One probe iteration to size the real run to roughly 20ms.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(20);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
+    println!("{id}: {} per iter ({} iters)", format_ns(mean), bencher.iters);
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Collect benchmark functions into a runner (stand-in for criterion's
+/// macro of the same name).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        let mut ran = false;
+        group.bench_function("trivial", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3usize, |b, n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

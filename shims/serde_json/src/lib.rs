@@ -1,0 +1,121 @@
+//! In-tree stand-in for the subset of `serde_json` used by this
+//! workspace: serializing benchmark records with `to_string` /
+//! `to_string_pretty` over the in-tree `serde` shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Serialization error. The shim's writers are infallible, so this
+/// exists only to keep `serde_json`-shaped signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string (2-space indent, like
+/// the real crate's default pretty printer).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indent compact JSON. Tracks string literals (with escapes) so
+/// structural characters inside strings are left alone.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&close) = chars.peek() {
+                    if (c == '{' && close == '}') || (c == '[' && close == ']') {
+                        out.push(close);
+                        chars.next();
+                        continue;
+                    }
+                }
+                indent += 1;
+                push_newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                push_newline(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![("a{b".to_string(), 1usize), ("c".to_string(), 2)];
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "[[\"a{b\",1],[\"c\",2]]");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "[\n  [\n    \"a{b\",\n    1\n  ],\n  [\n    \"c\",\n    2\n  ]\n]"
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+}

@@ -68,6 +68,7 @@ pub struct Lcg(pub u64);
 
 impl Lcg {
     /// Next raw value.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.0 = self
             .0

@@ -97,21 +97,19 @@ proptest! {
             Box::new(BitvecModule::new(&red.reduced, WordLayout::with_k(64, 1)));
         let mut rng = Lcg(seed);
         let n = m.num_operations() as u64;
-        let mut inst = 0u32;
         let mut live_a: std::collections::HashSet<u32> = Default::default();
         for step in 0..40u32 {
             let op = OpId(rng.below(n) as u32);
             let cycle = step / 2 + rng.below(4) as u32;
-            let mut ea = a.assign_free(OpInstance(inst), op, cycle);
-            let mut eb = b.assign_free(OpInstance(inst), op, cycle);
+            let mut ea = a.assign_free(OpInstance(step), op, cycle);
+            let mut eb = b.assign_free(OpInstance(step), op, cycle);
             ea.sort();
             eb.sort();
             prop_assert_eq!(&ea, &eb, "divergent evictions at step {}", step);
             for e in ea {
                 live_a.remove(&e.0);
             }
-            live_a.insert(inst);
-            inst += 1;
+            live_a.insert(step);
             prop_assert_eq!(a.num_scheduled(), live_a.len());
             prop_assert_eq!(b.num_scheduled(), live_a.len());
         }
