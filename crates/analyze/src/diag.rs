@@ -1,0 +1,235 @@
+//! Structured diagnostics: severities, findings, and rendered reports.
+
+use core::fmt;
+use rmd_machine::mdl::Span;
+
+/// How serious a finding is.
+///
+/// Ordered most-severe-first so `min` over a report yields the worst
+/// finding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// The description is broken: a scheduler driven by it would make
+    /// wrong decisions, or the pipeline would reject it outright.
+    Error,
+    /// Almost certainly a mistake in the description, but one the
+    /// pipeline tolerates.
+    Warning,
+    /// An observation — redundancy reports, merge suggestions.
+    Info,
+}
+
+impl Severity {
+    /// The lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding: a lint id, a severity, a message, and (when the subject
+/// came from MDL source) the declaration span it points at.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Catalog id, e.g. `RMD-L001`.
+    pub id: &'static str,
+    /// Severity the finding was reported at.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Source position of the offending declaration, if known.
+    pub span: Option<Span>,
+}
+
+/// Every finding for one subject (a file, a built-in model, a trace).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Report {
+    /// What was analyzed — a path, a model name, or a trace label.
+    pub subject: String,
+    /// The findings, in registry order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for `subject`.
+    pub fn new(subject: impl Into<String>) -> Self {
+        Report {
+            subject: subject.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// The most severe finding present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).min()
+    }
+
+    /// Escalates every warning to an error (`--deny warnings`).
+    pub fn escalate_warnings(&mut self) {
+        for d in &mut self.diagnostics {
+            if d.severity == Severity::Warning {
+                d.severity = Severity::Error;
+            }
+        }
+    }
+
+    /// Renders the report for terminals: a one-line summary followed by
+    /// one indented line per finding, positions first when known.
+    pub fn render_text(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        if self.diagnostics.is_empty() {
+            let _ = writeln!(out, "{}: clean", self.subject);
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} error(s), {} warning(s), {} info",
+            self.subject,
+            self.errors(),
+            self.warnings(),
+            self.count(Severity::Info)
+        );
+        for d in &self.diagnostics {
+            let _ = write!(out, "  {}[{}] ", d.severity, d.id);
+            if let Some(s) = d.span {
+                let _ = write!(out, "{}:{}: ", s.line, s.column);
+            }
+            let _ = writeln!(out, "{}", d.message);
+        }
+        out
+    }
+
+    /// Renders the report as a single JSON object on one line:
+    /// `{"subject":…,"errors":N,"warnings":N,"infos":N,"diagnostics":[…]}`.
+    /// Spans contribute `"line"`/`"column"` keys; spanless findings omit
+    /// them.
+    pub fn render_json(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"subject\":\"{}\",\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
+            json_escape(&self.subject),
+            self.errors(),
+            self.warnings(),
+            self.count(Severity::Info)
+        );
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+                json_escape(d.id),
+                d.severity,
+                json_escape(&d.message)
+            );
+            if let Some(s) = d.span {
+                let _ = write!(out, ",\"line\":{},\"column\":{}", s.line, s.column);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(id: &'static str, sev: Severity, msg: &str) -> Diagnostic {
+        Diagnostic {
+            id,
+            severity: sev,
+            message: msg.to_owned(),
+            span: None,
+        }
+    }
+
+    #[test]
+    fn counts_and_worst() {
+        let mut r = Report::new("m");
+        assert_eq!(r.worst(), None);
+        r.diagnostics.push(diag("RMD-L001", Severity::Warning, "w"));
+        r.diagnostics.push(diag("RMD-L009", Severity::Info, "i"));
+        assert_eq!((r.errors(), r.warnings()), (0, 1));
+        assert_eq!(r.worst(), Some(Severity::Warning));
+        r.escalate_warnings();
+        assert_eq!((r.errors(), r.warnings()), (1, 0));
+        assert_eq!(r.worst(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn text_render_is_clean_or_itemized() {
+        let mut r = Report::new("m");
+        assert_eq!(r.render_text(), "m: clean\n");
+        r.diagnostics.push(diag("RMD-L006", Severity::Error, "empty table"));
+        let t = r.render_text();
+        assert!(t.contains("1 error(s)"), "{t}");
+        assert!(t.contains("error[RMD-L006] empty table"), "{t}");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        let mut r = Report::new("a\"b");
+        r.diagnostics.push(diag(
+            "RMD-L001",
+            Severity::Warning,
+            "line1\nline2\ttab \\ \u{1}",
+        ));
+        let j = r.render_json();
+        assert!(j.contains("\"subject\":\"a\\\"b\""), "{j}");
+        assert!(j.contains("line1\\nline2\\ttab \\\\ \\u0001"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

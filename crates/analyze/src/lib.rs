@@ -1,0 +1,56 @@
+//! Static analysis for machine descriptions and query traces.
+//!
+//! Two analysis families, one diagnostic vocabulary:
+//!
+//! * **Description lints** (`RMD-L001` …) inspect a machine description
+//!   — parsed MDL with its pre-expansion alternative structure and
+//!   declaration spans, or an already-built
+//!   [`MachineDescription`](rmd_machine::MachineDescription) — for
+//!   declaration smells (dead, duplicate, dominated resources; dominated
+//!   alternatives; empty or over-long tables), violations of the
+//!   forbidden-matrix invariants the pipeline rests on (paper §3), and
+//!   redundancy headroom the reduction could reclaim (paper §5). See the
+//!   [`lints`] catalog.
+//! * **Protocol checks** (`RMD-P001` …) statically validate recorded
+//!   [`QueryTrace`](rmd_query::QueryTrace)s — the same format
+//!   `rmd-fault`'s differential replayer records — against the paper's
+//!   `check`/`assign`/`assign&free`/`free` query protocol (§7), without
+//!   running any query module. See [`check_trace`].
+//!
+//! Findings are [`Diagnostic`]s with a stable catalog id, a
+//! [`Severity`], and (for MDL input) the declaration span to point an
+//! editor at; a [`Report`] renders them as terminal text or one-line
+//! JSON. The `rmd lint` command and the `lint-machines` CI job are thin
+//! wrappers over [`lint_alt`] / [`lint_machine`].
+//!
+//! # Example
+//!
+//! ```
+//! use rmd_analyze::{lint_alt, Severity};
+//! use rmd_machine::mdl;
+//!
+//! let src = r#"machine "m" {
+//!     resources { alu; spare; }
+//!     op add { use alu @ 0; }
+//! }"#;
+//! let (d, map) = mdl::parse_with_source_map(src).unwrap();
+//! let report = lint_alt(&d, Some(&map));
+//! // `spare` is never used: RMD-L001, a warning.
+//! assert_eq!(report.errors(), 0);
+//! assert!(report.diagnostics.iter().any(|d| d.id == "RMD-L001"));
+//! assert_eq!(report.worst(), Some(Severity::Warning));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod diag;
+mod lint;
+pub mod lints;
+mod model;
+mod protocol;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use lint::{all_lints, lint_alt, lint_machine, lint_subject, Lint, INVALID_MACHINE};
+pub use model::{LintSubject, OpGroup};
+pub use protocol::{check_trace, violation_id};

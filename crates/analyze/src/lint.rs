@@ -1,0 +1,107 @@
+//! The lint trait, the registry, and the lint runners.
+
+use crate::diag::{Diagnostic, Report, Severity};
+use crate::lints;
+use crate::model::LintSubject;
+use rmd_machine::alternatives::AltDescription;
+use rmd_machine::mdl::SourceMap;
+use rmd_machine::MachineDescription;
+
+/// Id of the pseudo-lint reporting that a parsed description does not
+/// expand into a valid machine at all.
+pub const INVALID_MACHINE: &str = "RMD-L000";
+
+/// One description lint.
+///
+/// A lint inspects a [`LintSubject`] and appends [`Diagnostic`]s; it
+/// must not assume the subject expanded (matrix lints return early when
+/// [`LintSubject::machine`] is `None`).
+pub trait Lint {
+    /// Catalog id, e.g. `RMD-L001`.
+    fn id(&self) -> &'static str;
+    /// Short kebab-case name, e.g. `dead-resource`.
+    fn name(&self) -> &'static str;
+    /// Severity this lint reports at by default.
+    fn default_severity(&self) -> Severity;
+    /// Runs the lint, appending findings to `out`.
+    fn run(&self, subject: &LintSubject, out: &mut Vec<Diagnostic>);
+}
+
+/// Every registered description lint, in catalog order.
+pub fn all_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(lints::DeadResource),
+        Box::new(lints::DuplicateResource),
+        Box::new(lints::DominatedResource),
+        Box::new(lints::IdenticalTables),
+        Box::new(lints::TableOverrun),
+        Box::new(lints::EmptyTable),
+        Box::new(lints::MatrixInvariant),
+        Box::new(lints::DominatedAlternative),
+        Box::new(lints::Redundancy),
+    ]
+}
+
+/// Runs every registered lint over `subject`.
+///
+/// A subject that failed to expand additionally yields one
+/// [`INVALID_MACHINE`] error carrying the expansion failure.
+pub fn lint_subject(subject: &LintSubject) -> Report {
+    let mut report = Report::new(subject.name());
+    if let Some(e) = subject.expand_error() {
+        report.diagnostics.push(Diagnostic {
+            id: INVALID_MACHINE,
+            severity: Severity::Error,
+            message: format!("description does not expand into a valid machine: {e}"),
+            span: None,
+        });
+    }
+    for lint in all_lints() {
+        lint.run(subject, &mut report.diagnostics);
+    }
+    report
+}
+
+/// Lints an already-expanded machine (a built-in model, a reduction
+/// output).
+pub fn lint_machine(m: &MachineDescription) -> Report {
+    lint_subject(&LintSubject::from_machine(m))
+}
+
+/// Lints a parsed (pre-expansion) description, attaching declaration
+/// spans when a [`SourceMap`] is supplied.
+pub fn lint_alt(d: &AltDescription, map: Option<&SourceMap>) -> Report {
+    lint_subject(&LintSubject::from_alt(d, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::mdl;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let lints = all_lints();
+        let ids: Vec<&str> = lints.iter().map(|l| l.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), lints.len(), "duplicate lint ids: {ids:?}");
+        assert_eq!(ids, sorted, "registry must stay in catalog order");
+        assert!(ids.iter().all(|i| i.starts_with("RMD-L")));
+    }
+
+    #[test]
+    fn unexpandable_machine_reports_l000() {
+        let (d, map) = mdl::parse_with_source_map(
+            r#"machine "m" { resources { r; } op nop { } op x { use r @ 0; } }"#,
+        )
+        .expect("parses");
+        let r = lint_alt(&d, Some(&map));
+        assert!(
+            r.diagnostics.iter().any(|d| d.id == INVALID_MACHINE),
+            "{r:?}"
+        );
+        assert!(r.errors() >= 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! The linted view of a machine: operations as alternative groups.
+//!
+//! Lints see one [`LintSubject`] regardless of where the machine came
+//! from. Parsed MDL keeps its pre-expansion alternative structure (and
+//! declaration spans, via the parser's
+//! [`SourceMap`](rmd_machine::mdl::SourceMap)); built-in
+//! [`MachineDescription`]s are regrouped by the `base` attribution their
+//! expanded alternatives carry. Structural lints run on the groups;
+//! matrix lints run on the expanded machine, which is absent only when
+//! expansion itself fails (that failure becomes a finding, not a crash).
+
+use rmd_machine::alternatives::AltDescription;
+use rmd_machine::mdl::{SourceMap, Span};
+use rmd_machine::{MachineDescription, ReservationTable};
+
+/// One operation as declared: a name, a total weight, and one or more
+/// alternative reservation tables.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OpGroup {
+    /// Declared name (an alternative group's base name).
+    pub name: String,
+    /// Total declared weight of the group.
+    pub weight: f64,
+    /// The alternative tables (exactly one for a plain operation).
+    pub alternatives: Vec<ReservationTable>,
+    /// Span of the declaration, when the subject came from source.
+    pub span: Option<Span>,
+}
+
+/// Everything the lints need to know about one machine.
+#[derive(Clone, Debug)]
+pub struct LintSubject {
+    name: String,
+    resource_names: Vec<String>,
+    resource_spans: Vec<Option<Span>>,
+    groups: Vec<OpGroup>,
+    machine: Option<MachineDescription>,
+    expand_error: Option<String>,
+}
+
+impl LintSubject {
+    /// Builds a subject from a parsed (pre-expansion) description, with
+    /// declaration spans when a [`SourceMap`] is supplied.
+    ///
+    /// Never fails: if the description does not expand into a valid
+    /// [`MachineDescription`] (empty operation, duplicate name, …), the
+    /// subject carries the error for [`expand_error`](Self::expand_error)
+    /// and matrix-based lints skip themselves.
+    pub fn from_alt(d: &AltDescription, map: Option<&SourceMap>) -> Self {
+        let resource_names = d.resource_names().to_vec();
+        let resource_spans = resource_names
+            .iter()
+            .map(|n| map.and_then(|m| m.resource_span(&resource_names, n)))
+            .collect();
+        let op_names: Vec<&str> = d.operations().iter().map(|o| o.name()).collect();
+        let groups = d
+            .operations()
+            .iter()
+            .map(|o| OpGroup {
+                name: o.name().to_owned(),
+                weight: o.weight(),
+                alternatives: o.alternatives().to_vec(),
+                span: map.and_then(|m| m.op_span(&op_names, o.name())),
+            })
+            .collect();
+        let (machine, expand_error) = match d.expand() {
+            Ok((m, _)) => (Some(m), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        LintSubject {
+            name: d.name().to_owned(),
+            resource_names,
+            resource_spans,
+            groups,
+            machine,
+            expand_error,
+        }
+    }
+
+    /// Builds a subject from an already-expanded machine (a built-in
+    /// model, a reduction output), regrouping runs of expanded
+    /// alternatives (`X#0 .. X#{n-1}`) back into one group per base.
+    pub fn from_machine(m: &MachineDescription) -> Self {
+        let ops = m.operations();
+        let mut groups = Vec::new();
+        let mut i = 0;
+        while i < ops.len() {
+            let mut j = i + 1;
+            if let Some(base) = ops[i].base() {
+                while j < ops.len() && ops[j].base() == Some(base) {
+                    j += 1;
+                }
+            }
+            groups.push(OpGroup {
+                name: ops[i].base().unwrap_or(ops[i].name()).to_owned(),
+                weight: ops[i..j].iter().map(|o| o.weight()).sum(),
+                alternatives: ops[i..j].iter().map(|o| o.table().clone()).collect(),
+                span: None,
+            });
+            i = j;
+        }
+        LintSubject {
+            name: m.name().to_owned(),
+            resource_names: m.resources().iter().map(|r| r.name().to_owned()).collect(),
+            resource_spans: vec![None; m.num_resources()],
+            groups,
+            machine: Some(m.clone()),
+            expand_error: None,
+        }
+    }
+
+    /// The machine's declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared resource names, in id order.
+    pub fn resource_names(&self) -> &[String] {
+        &self.resource_names
+    }
+
+    /// Declaration span per resource (all `None` without a source map).
+    pub fn resource_spans(&self) -> &[Option<Span>] {
+        &self.resource_spans
+    }
+
+    /// The operations, as declared alternative groups.
+    pub fn groups(&self) -> &[OpGroup] {
+        &self.groups
+    }
+
+    /// The expanded machine, when expansion succeeded.
+    pub fn machine(&self) -> Option<&MachineDescription> {
+        self.machine.as_ref()
+    }
+
+    /// Why expansion failed, when it did.
+    pub fn expand_error(&self) -> Option<&str> {
+        self.expand_error.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::mdl;
+    use rmd_machine::models::example_machine;
+
+    #[test]
+    fn from_alt_keeps_groups_and_spans() {
+        let src = r#"machine "m" {
+            resources { p0; p1; }
+            op ld weight 2 alt { { use p0 @ 0; } { use p1 @ 0; } }
+        }"#;
+        let (d, map) = mdl::parse_with_source_map(src).expect("parses");
+        let s = LintSubject::from_alt(&d, Some(&map));
+        assert_eq!(s.groups().len(), 1);
+        assert_eq!(s.groups()[0].alternatives.len(), 2);
+        assert_eq!(s.groups()[0].weight, 2.0);
+        assert!(s.groups()[0].span.is_some());
+        assert!(s.resource_spans()[1].is_some());
+        assert!(s.machine().is_some());
+        assert_eq!(s.expand_error(), None);
+    }
+
+    #[test]
+    fn from_alt_survives_expansion_failure() {
+        let src = r#"machine "m" {
+            resources { r; }
+            op nop { }
+            op x { use r @ 0; }
+        }"#;
+        let (d, map) = mdl::parse_with_source_map(src).expect("parses");
+        let s = LintSubject::from_alt(&d, Some(&map));
+        assert!(s.machine().is_none());
+        assert!(s.expand_error().expect("error kept").contains("nop"));
+        assert_eq!(s.groups().len(), 2);
+    }
+
+    #[test]
+    fn from_machine_regroups_expanded_alternatives() {
+        let (m, _) = mdl::parse_machine(
+            r#"machine "m" {
+                resources { p0; p1; r; }
+                op ld alt { { use p0 @ 0; } { use p1 @ 0; } }
+                op add { use r @ 0; }
+            }"#,
+        )
+        .expect("parses");
+        let s = LintSubject::from_machine(&m);
+        assert_eq!(s.groups().len(), 2);
+        assert_eq!(s.groups()[0].name, "ld");
+        assert_eq!(s.groups()[0].alternatives.len(), 2);
+        assert!((s.groups()[0].weight - 1.0).abs() < 1e-12);
+        assert_eq!(s.groups()[1].alternatives.len(), 1);
+
+        let fig1 = LintSubject::from_machine(&example_machine());
+        assert_eq!(fig1.groups().len(), example_machine().num_operations());
+    }
+}

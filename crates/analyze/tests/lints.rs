@@ -1,0 +1,152 @@
+//! Integration tests: the fixture corpus (one seeded defect per lint
+//! id), cleanliness of the shipped machines, and trace protocol checks.
+
+use rmd_analyze::{check_trace, lint_alt, lint_machine, Report};
+use rmd_machine::{mdl, models};
+use rmd_query::{OpInstance, QueryEvent, QueryTrace};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_file(path: &Path) -> Report {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let (d, map) = mdl::parse_with_source_map(&src)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    lint_alt(&d, Some(&map))
+}
+
+#[test]
+fn every_fixture_is_flagged_by_its_lint() {
+    for id in [
+        "RMD-L001",
+        "RMD-L002",
+        "RMD-L003",
+        "RMD-L004",
+        "RMD-L005",
+        "RMD-L006",
+        "RMD-L007",
+        "RMD-L008",
+        "RMD-L009",
+    ] {
+        let file = format!(
+            "l{:03}_{}.mdl",
+            id[5..].parse::<u32>().expect("catalog ids are numbered"),
+            match id {
+                "RMD-L001" => "dead_resource",
+                "RMD-L002" => "duplicate_resource",
+                "RMD-L003" => "dominated_resource",
+                "RMD-L004" => "identical_tables",
+                "RMD-L005" => "table_overrun",
+                "RMD-L006" => "empty_table",
+                "RMD-L007" => "matrix_invariant",
+                "RMD-L008" => "dominated_alternative",
+                _ => "redundancy",
+            }
+        );
+        let report = lint_file(&fixture_dir().join(&file));
+        assert!(
+            report.diagnostics.iter().any(|d| d.id == id),
+            "{file} must trigger {id}, got: {}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn fixture_spans_point_into_the_source() {
+    // Declaration-level findings must carry usable positions.
+    let report = lint_file(&fixture_dir().join("l001_dead_resource.mdl"));
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.id == "RMD-L001")
+        .expect("dead resource flagged");
+    let span = d.span.expect("span recorded from the source map");
+    assert!(span.line >= 1 && span.column >= 1);
+    assert!(report.render_text().contains(&format!("{}:{}", span.line, span.column)));
+}
+
+#[test]
+fn builtin_models_have_no_error_findings() {
+    for m in models::all_machines() {
+        let report = lint_machine(&m);
+        assert_eq!(
+            report.errors(),
+            0,
+            "{}: {}",
+            m.name(),
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn builtin_models_have_no_warnings_either() {
+    // The CI lint job runs `--deny warnings` over the built-ins; keep
+    // this invariant visible locally.
+    for m in models::all_machines() {
+        let report = lint_machine(&m);
+        assert_eq!(
+            report.warnings(),
+            0,
+            "{}: {}",
+            m.name(),
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn shipped_mdl_files_are_warning_free() {
+    let machines = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../machines");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&machines).expect("machines/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "mdl") {
+            continue;
+        }
+        seen += 1;
+        let report = lint_file(&path);
+        assert_eq!(report.errors(), 0, "{}: {}", path.display(), report.render_text());
+        assert_eq!(report.warnings(), 0, "{}: {}", path.display(), report.render_text());
+    }
+    assert!(seen >= 1, "machines/ must ship at least one .mdl");
+}
+
+#[test]
+fn recorded_oracle_style_trace_checks_clean() {
+    // A protocol-correct trace (check-gated assigns, matching frees)
+    // over a built-in model yields a clean report.
+    let m = models::example_machine();
+    let a = m.op_by_name("A").unwrap();
+    let b = m.op_by_name("B").unwrap();
+    let mut t = QueryTrace::new(m.name());
+    t.push(QueryEvent::Check { op: a, cycle: 0 });
+    t.push(QueryEvent::Assign { inst: OpInstance(0), op: a, cycle: 0 });
+    t.push(QueryEvent::AssignFree { inst: OpInstance(1), op: b, cycle: 1 });
+    t.push(QueryEvent::Free { inst: OpInstance(1), op: b, cycle: 1 });
+    let report = check_trace(&t, &m);
+    assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+}
+
+#[test]
+fn protocol_misuse_is_reported_with_p_ids() {
+    let m = models::example_machine();
+    let a = m.op_by_name("A").unwrap();
+    let b = m.op_by_name("B").unwrap();
+    let mut t = QueryTrace::new(m.name());
+    // Double-assign of one instance, then a free naming the wrong op.
+    t.push(QueryEvent::Assign { inst: OpInstance(0), op: a, cycle: 0 });
+    t.push(QueryEvent::Assign { inst: OpInstance(0), op: a, cycle: 10 });
+    t.push(QueryEvent::Free { inst: OpInstance(0), op: b, cycle: 10 });
+    let report = check_trace(&t, &m);
+    let ids: Vec<&str> = report.diagnostics.iter().map(|d| d.id).collect();
+    assert_eq!(ids, vec!["RMD-P001", "RMD-P004"], "{}", report.render_text());
+    // JSON output round-trips the same findings.
+    let json = report.render_json();
+    assert!(json.contains("\"id\":\"RMD-P001\""), "{json}");
+    assert!(json.contains("\"errors\":2"), "{json}");
+}

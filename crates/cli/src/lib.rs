@@ -8,6 +8,7 @@
 //! rmd verify <machine-a> <machine-b>    # exact equivalence check
 //! rmd matrix <machine>                  # the forbidden-latency matrix
 //! rmd render <machine>                  # ASCII reservation tables
+//! rmd lint   <machine> [options]        # description lints
 //! rmd models                            # list built-in models
 //! ```
 //!
@@ -36,6 +37,7 @@ use std::fmt::Write as _;
 /// | `Parse`          | 3         | unreadable input or MDL syntax error      |
 /// | `Validation`     | 4         | machine rejected by structural validation |
 /// | `Verification`   | 5         | equivalence check failed                  |
+/// | `Lint`           | 6         | lint findings at error severity           |
 /// | `Internal`       | 1         | unexpected pipeline failure               |
 #[derive(Clone, PartialEq, Debug)]
 #[non_exhaustive]
@@ -59,6 +61,15 @@ pub enum CliError {
         /// The rendered inequivalence witness.
         message: String,
     },
+    /// `rmd lint` found error-severity diagnostics (possibly escalated
+    /// warnings under `--deny warnings`).
+    Lint {
+        /// The full rendered report, in the requested format; the
+        /// binary prints this on stdout before exiting.
+        report: String,
+        /// Number of error-severity findings.
+        errors: usize,
+    },
     /// An unexpected internal failure.
     Internal(String),
 }
@@ -72,6 +83,7 @@ impl CliError {
             CliError::Parse { .. } => 3,
             CliError::Validation(_) => 4,
             CliError::Verification { .. } => 5,
+            CliError::Lint { .. } => 6,
             CliError::Internal(_) => 1,
         }
     }
@@ -84,6 +96,9 @@ impl std::fmt::Display for CliError {
             CliError::Parse { spec, message } => write!(f, "{spec}: {message}"),
             CliError::Validation(e) => write!(f, "invalid machine: {e}"),
             CliError::Verification { message } => write!(f, "{message}"),
+            CliError::Lint { errors, .. } => {
+                write!(f, "lint: {errors} error-severity finding(s)")
+            }
             CliError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -141,6 +156,15 @@ pub enum Command {
         /// Model name or `.mdl` path.
         machine: String,
     },
+    /// `rmd lint <machine> [--format text|json] [--deny warnings]`
+    Lint {
+        /// Model name or `.mdl` path.
+        machine: String,
+        /// Emit the report as one-line JSON instead of text.
+        json: bool,
+        /// Escalate warnings to errors before deciding the exit code.
+        deny_warnings: bool,
+    },
     /// `rmd models`
     Models,
     /// `rmd help` or no args.
@@ -195,6 +219,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "table" => Ok(Command::Table {
             machine: required(&mut it, "table", "<machine>")?,
         }),
+        "lint" => {
+            let machine = required(&mut it, "lint", "<machine>")?;
+            let mut json = false;
+            let mut deny_warnings = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => json = false,
+                        Some("json") => json = true,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "--format expects `text` or `json`, got {other:?}"
+                            )))
+                        }
+                    },
+                    "--deny" => match it.next().map(String::as_str) {
+                        Some("warnings") => deny_warnings = true,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "--deny expects `warnings`, got {other:?}"
+                            )))
+                        }
+                    },
+                    other => {
+                        return Err(CliError::Usage(format!("unknown option `{other}`")))
+                    }
+                }
+            }
+            Ok(Command::Lint {
+                machine,
+                json,
+                deny_warnings,
+            })
+        }
         "models" => Ok(Command::Models),
         "help" | "--help" | "-h" => Ok(Command::Help),
         "reduce" => {
@@ -291,6 +349,33 @@ pub fn load_machine(spec: &str) -> Result<MachineDescription, CliError> {
     Ok(m)
 }
 
+/// Lints a machine spec without the [`Limits`] gate, so limit
+/// violations surface as findings (`RMD-L005`) rather than hard
+/// failures. Built-in names lint the expanded model; `.mdl` paths are
+/// re-parsed with a source map so findings carry declaration spans.
+fn lint_spec(spec: &str) -> Result<rmd_analyze::Report, CliError> {
+    let mut report = match spec {
+        "fig1" => rmd_analyze::lint_machine(&models::example_machine()),
+        "mips" => rmd_analyze::lint_machine(&models::mips_r3000()),
+        "alpha" => rmd_analyze::lint_machine(&models::alpha21064()),
+        "cydra5" => rmd_analyze::lint_machine(&models::cydra5()),
+        "cydra5-subset" => rmd_analyze::lint_machine(&models::cydra5_subset()),
+        _ => {
+            let text = std::fs::read_to_string(spec).map_err(|e| CliError::Parse {
+                spec: spec.to_owned(),
+                message: format!("cannot read: {e}"),
+            })?;
+            let (d, map) = mdl::parse_with_source_map(&text).map_err(|e| CliError::Parse {
+                spec: spec.to_owned(),
+                message: e.to_string(),
+            })?;
+            rmd_analyze::lint_alt(&d, Some(&map))
+        }
+    };
+    report.subject = spec.to_owned();
+    Ok(report)
+}
+
 /// Executes a command, returning its stdout text.
 ///
 /// # Errors
@@ -368,6 +453,30 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             let report = rmd_bench::reduction_report(&m, &[32, 64]);
             out.push_str(&rmd_bench::render_report(&report));
         }
+        Command::Lint {
+            machine,
+            json,
+            deny_warnings,
+        } => {
+            let mut report = lint_spec(machine)?;
+            if *deny_warnings {
+                report.escalate_warnings();
+            }
+            let rendered = if *json {
+                let mut j = report.render_json();
+                j.push('\n');
+                j
+            } else {
+                report.render_text()
+            };
+            if report.errors() > 0 {
+                return Err(CliError::Lint {
+                    report: rendered,
+                    errors: report.errors(),
+                });
+            }
+            out.push_str(&rendered);
+        }
         Command::Verify { left, right } => {
             let a = load_machine(left)?;
             let b = load_machine(right)?;
@@ -440,12 +549,20 @@ USAGE:
     rmd matrix <machine>                     forbidden-latency matrix
     rmd render <machine>                     ASCII reservation tables
     rmd table  <machine>                     paper-style reduction report
+    rmd lint   <machine> [options]           lint the description
     rmd models                               list built-in models
 
 OPTIONS (reduce):
     --objective res-uses|word                selection objective [res-uses]
     --k <N>                                  cycles per word (with `word`) [4]
     --emit-mdl                               print the reduced machine as MDL
+
+OPTIONS (lint):
+    --format text|json                       report format [text]
+    --deny warnings                          treat warnings as errors
+
+Lint exits 0 when no error-severity findings remain and 6 otherwise;
+the report is always printed on stdout.
 
 <machine> is a built-in model name (fig1, mips, alpha, cydra5,
 cydra5-subset) or a path to an .mdl file.
@@ -567,6 +684,121 @@ mod tests {
         let (m, _) =
             rmd_machine::mdl::parse_machine(&out[mdl_start..]).expect("emitted mdl reparses");
         assert!(m.num_resources() > 0);
+    }
+}
+
+#[cfg(test)]
+mod lint_tests {
+    use super::*;
+    use std::path::Path;
+
+    fn fixture(name: &str) -> String {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../analyze/tests/fixtures")
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn parses_lint_with_options() {
+        let c = parse_args(
+            &["lint", "mips", "--format", "json", "--deny", "warnings"]
+                .map(String::from),
+        )
+        .expect("valid command line");
+        assert_eq!(
+            c,
+            Command::Lint {
+                machine: "mips".into(),
+                json: true,
+                deny_warnings: true,
+            }
+        );
+        for bad in [
+            &["lint"][..],
+            &["lint", "mips", "--format", "yaml"][..],
+            &["lint", "mips", "--deny", "infos"][..],
+        ] {
+            let e = parse_args(&bad.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+                .expect_err("usage error");
+            assert_eq!(e.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn builtin_models_lint_without_errors() {
+        for name in MODEL_NAMES {
+            let out = run(&Command::Lint {
+                machine: name.into(),
+                json: false,
+                deny_warnings: true,
+            })
+            .expect("built-ins pass --deny warnings");
+            assert!(out.contains("0 error(s)"), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn error_fixture_exits_with_code_6_and_keeps_the_report() {
+        match run(&Command::Lint {
+            machine: fixture("l005_table_overrun.mdl"),
+            json: false,
+            deny_warnings: false,
+        }) {
+            Err(e @ CliError::Lint { .. }) => {
+                assert_eq!(e.exit_code(), 6);
+                let CliError::Lint { report, errors } = e else {
+                    unreachable!()
+                };
+                assert!(errors >= 1);
+                assert!(report.contains("RMD-L005"), "{report}");
+            }
+            other => unreachable!("expected a lint failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deny_warnings_escalates_a_warning_only_fixture() {
+        let spec = fixture("l001_dead_resource.mdl");
+        let out = run(&Command::Lint {
+            machine: spec.clone(),
+            json: false,
+            deny_warnings: false,
+        })
+        .expect("warnings alone exit 0");
+        assert!(out.contains("RMD-L001"), "{out}");
+        let e = run(&Command::Lint {
+            machine: spec,
+            json: false,
+            deny_warnings: true,
+        })
+        .expect_err("--deny warnings escalates");
+        assert_eq!(e.exit_code(), 6);
+    }
+
+    #[test]
+    fn json_format_is_one_line_and_machine_readable() {
+        let out = run(&Command::Lint {
+            machine: "fig1".into(),
+            json: true,
+            deny_warnings: false,
+        })
+        .expect("fig1 lints clean of errors");
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(out.starts_with("{\"subject\":\"fig1\""), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
+    }
+
+    #[test]
+    fn missing_lint_input_is_a_parse_error() {
+        let e = run(&Command::Lint {
+            machine: "/no/such/file.mdl".into(),
+            json: false,
+            deny_warnings: false,
+        })
+        .expect_err("missing file");
+        assert_eq!(e.exit_code(), 3);
     }
 }
 

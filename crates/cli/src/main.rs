@@ -1,7 +1,8 @@
 //! The `rmd` binary. All logic lives in the library for testability.
 //!
 //! Exit codes: 0 success, 1 internal error, 2 usage, 3 parse,
-//! 4 validation, 5 verification failure (see `rmd_cli::CliError`).
+//! 4 validation, 5 verification failure, 6 lint findings at error
+//! severity (see `rmd_cli::CliError`).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -9,6 +10,12 @@ fn main() {
         Ok(cmd) => match rmd_cli::run(&cmd) {
             Ok(out) => print!("{out}"),
             Err(e) => {
+                // Lint failures still print the full report on stdout so
+                // `--format json` output stays machine-readable; only the
+                // one-line summary goes to stderr.
+                if let rmd_cli::CliError::Lint { ref report, .. } = e {
+                    print!("{report}");
+                }
                 eprintln!("error: {e}");
                 std::process::exit(e.exit_code());
             }

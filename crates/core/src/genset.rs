@@ -125,8 +125,9 @@ pub fn generating_set_traced(f: &ForbiddenMatrix) -> (Vec<SynthResource>, GenSet
 /// Like [`generating_set`], but charges one step per elementary pair and
 /// per pair-versus-resource consideration against `budget`, unwinding
 /// with [`RmdError::BudgetExhausted`](crate::RmdError::BudgetExhausted)
-/// when it runs out — the hook [`reduce_with_fallback`]
-/// (crate::reduce_with_fallback) uses to bound worst-case work.
+/// when it runs out — the hook
+/// [`reduce_with_fallback`](crate::reduce_with_fallback) uses to bound
+/// worst-case work.
 ///
 /// # Errors
 ///

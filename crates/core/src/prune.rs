@@ -15,25 +15,47 @@ use crate::synth::SynthResource;
 /// generated-set size (ties broken by original index), so smaller, less
 /// useful resources are discarded first.
 pub fn prune_dominated(set: &[SynthResource]) -> Vec<SynthResource> {
+    dominated_by(set)
+        .iter()
+        .zip(set)
+        .filter(|(d, _)| d.is_none())
+        .map(|(_, r)| r.clone())
+        .collect()
+}
+
+/// For each resource, the index of the *surviving* resource that
+/// dominates it — its generated forbidden set is a subset of the
+/// survivor's — or `None` for resources [`prune_dominated`] keeps.
+///
+/// This is the domination relation pruning acts on, exposed separately
+/// so diagnostics (rmd-analyze's dominated-resource lint) can name the
+/// dominator instead of merely observing that pruning shrank the set.
+/// `prune_dominated(set)` keeps exactly the `None` entries, in order.
+pub fn dominated_by(set: &[SynthResource]) -> Vec<Option<usize>> {
     let triples: Vec<Vec<(u32, u32, i32)>> =
         set.iter().map(SynthResource::forbidden_triples).collect();
     let mut order: Vec<usize> = (0..set.len()).collect();
     order.sort_by_key(|&i| (triples[i].len(), i));
 
-    let mut removed = vec![false; set.len()];
+    // `dom[j].is_some()` ⟺ j has already been visited and removed, so
+    // the guard matches the original "still live" scan exactly.
+    let mut dom: Vec<Option<usize>> = vec![None; set.len()];
     for &i in &order {
-        let dominated = (0..set.len()).any(|j| {
-            j != i && !removed[j] && is_sorted_subset(&triples[i], &triples[j])
-        });
-        if dominated {
-            removed[i] = true;
-        }
+        dom[i] = (0..set.len())
+            .find(|&j| j != i && dom[j].is_none() && is_sorted_subset(&triples[i], &triples[j]));
     }
-    set.iter()
-        .zip(&removed)
-        .filter(|(_, &r)| !r)
-        .map(|(r, _)| r.clone())
-        .collect()
+    // A dominator only had to be live at visit time and may itself be
+    // pruned later (by an equal set visited after it); chase each chain
+    // to its surviving end. Chains follow removal order, so they are
+    // acyclic.
+    for i in 0..set.len() {
+        let Some(mut j) = dom[i] else { continue };
+        while let Some(k) = dom[j] {
+            j = k;
+        }
+        dom[i] = Some(j);
+    }
+    dom
 }
 
 /// Subset test over two sorted, deduplicated slices.
@@ -113,6 +135,17 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(pruned.into_iter().collect::<HashSet<_>>(), expect);
+    }
+
+    #[test]
+    fn dominated_by_names_a_surviving_dominator() {
+        let small = SynthResource::from_usages([u(1, 0), u(1, 1)]);
+        // Two mirror-equal supersets: the first is pruned in favor of the
+        // second, so the small resource's chain must be chased past it.
+        let a = SynthResource::from_usages([u(1, 0), u(1, 1), u(1, 2), u(1, 3)]);
+        let b = a.clone();
+        let dom = dominated_by(&[small, a, b]);
+        assert_eq!(dom, vec![Some(2), Some(2), None]);
     }
 
     #[test]

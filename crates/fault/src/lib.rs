@@ -29,5 +29,7 @@ pub mod rng;
 
 pub use audit::{audit_model, AuditReport, OperatorStats};
 pub use mutate::{mutate, Mutant, MutantPayload, MutationOp, ALL_OPERATORS};
-pub use oracle::{matrix_oracle, trace_oracle};
+pub use oracle::{
+    matrix_oracle, record_linear_trace, record_modulo_trace, replay_diff, trace_oracle,
+};
 pub use rng::SplitMix64;

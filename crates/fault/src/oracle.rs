@@ -4,28 +4,36 @@
 //!   `rmd_core::verify_equivalence`: a mutant is killed when its
 //!   forbidden-latency matrix differs from the original's. This is the
 //!   check `reduce_with_fallback` runs on every reduction.
-//! * [`trace_oracle`] — a differential query-trace replayer: identical
-//!   deterministic `check`/`assign`/`assign_free`/`free` sequences are
-//!   driven through original-vs-mutant pairs of every query module
-//!   (discrete, bitvector, and both modulo forms) and any divergent
-//!   answer — a `check` verdict, an evicted-instance set, a scheduled
-//!   count — kills the mutant.
+//! * [`trace_oracle`] — a differential query-trace replayer built on
+//!   [`QueryTrace`]: a deterministic `check`/`assign`/`assign_free`/
+//!   `free` sequence is **recorded** once against modules over the
+//!   original machine ([`record_linear_trace`], [`record_modulo_trace`])
+//!   and **replayed** ([`replay_diff`]) over every query-module
+//!   representation of the mutant — discrete, bitvector, and both modulo
+//!   forms. Any divergent [`Answer`] — a `check` verdict, an
+//!   evicted-instance set, a scheduled count — kills the mutant.
 //!
-//! The trace oracle is *sound*: every answer it compares (conflict
-//! verdicts, eviction sets, fit checks) is a function of the
-//! forbidden-latency matrix alone, so a neutral mutant can never
+//! The trace oracle is *sound*: every answer it compares is a function
+//! of the forbidden-latency matrix alone, so a neutral mutant can never
 //! diverge. Its pairwise probe phase also makes it *complete* for
 //! description-level mutants: assigning each operation in isolation and
 //! sweeping `check` across every latency offset reads the full matrix
 //! back out through the query interface.
+//!
+//! Because recording gates every `assign` on an admitting `check` and
+//! replay stops at the first divergent answer, replayed traces are
+//! protocol-clean on both sides — the debug-build
+//! [`ProtocolChecker`](rmd_query::ProtocolChecker) embedded in the
+//! modules never fires, and the same traces can be fed to
+//! `rmd-analyze`'s static protocol checks.
 
 use crate::mutate::{Mutant, MutantPayload};
 use crate::rng::SplitMix64;
 use rmd_core::verify_equivalence;
 use rmd_machine::{MachineDescription, OpId};
 use rmd_query::{
-    BitvecModule, ContentionQuery, DiscreteModule, ModuloBitvecModule, ModuloDiscreteModule,
-    OpInstance, WordLayout,
+    Answer, BitvecModule, ContentionQuery, DiscreteModule, ModuloBitvecModule,
+    ModuloDiscreteModule, OpInstance, QueryEvent, QueryTrace, Response, WordLayout,
 };
 
 /// Kills description-level mutants whose matrix differs (oracle a).
@@ -61,7 +69,178 @@ pub fn trace_oracle(
     }
 }
 
-/// Drives every module pair over `a` (original) and `b` (mutant).
+/// Records the oracle's standard probe-sweep + random-walk trace against
+/// a fresh [`DiscreteModule`] over `machine`.
+///
+/// Returns the trace and the per-event [`Answer`]s — the "expected" side
+/// of a differential [`replay_diff`]. `probe_span` sets how far the
+/// sweep probes (usually [`MachineDescription::max_table_length`]); the
+/// differential oracle passes the maximum over original and mutant so
+/// probes also cover a mutant's longer tables.
+pub fn record_linear_trace(
+    machine: &MachineDescription,
+    probe_span: u32,
+    trace_seed: u64,
+) -> (QueryTrace, Vec<Answer>) {
+    let mut q = DiscreteModule::new(machine);
+    let mut trace = QueryTrace::new(machine.name());
+    let mut answers = Vec::new();
+    record_into(
+        &mut q,
+        &mut trace,
+        &mut answers,
+        machine.num_operations(),
+        probe_span,
+        trace_seed,
+    );
+    (trace, answers)
+}
+
+/// Records the same probe-sweep + random-walk trace against a fresh
+/// [`ModuloDiscreteModule`] at initiation interval `ii`.
+///
+/// Modulo wraparound changes which probes are admitted, so modulo
+/// replays need their own recording; the returned trace carries
+/// `ii = Some(ii)`.
+pub fn record_modulo_trace(
+    machine: &MachineDescription,
+    ii: u32,
+    probe_span: u32,
+    trace_seed: u64,
+) -> (QueryTrace, Vec<Answer>) {
+    let mut q = ModuloDiscreteModule::new(machine, ii);
+    let mut trace = QueryTrace::modulo(machine.name(), ii);
+    let mut answers = Vec::new();
+    record_into(
+        &mut q,
+        &mut trace,
+        &mut answers,
+        machine.num_operations(),
+        probe_span,
+        trace_seed,
+    );
+    (trace, answers)
+}
+
+/// Replays a recorded trace over `q` (built from a mutant machine),
+/// comparing each [`Answer`] against the recorded one.
+///
+/// Returns `Some(description)` of the first divergent event — and stops
+/// there, so state downstream of a disagreement never contaminates the
+/// report — or `None` if every answer matches.
+pub fn replay_diff<Q: ContentionQuery>(
+    trace: &QueryTrace,
+    expected: &[Answer],
+    q: &mut Q,
+) -> Option<String> {
+    for (i, (event, want)) in trace.events.iter().zip(expected).enumerate() {
+        let got = event.apply(q);
+        if got != *want {
+            return Some(format!("event {i}: {event}: {got} vs expected {want}"));
+        }
+    }
+    None
+}
+
+/// Applies one event to the recording module and captures it in the
+/// trace alongside its answer.
+fn emit<Q: ContentionQuery>(
+    q: &mut Q,
+    trace: &mut QueryTrace,
+    answers: &mut Vec<Answer>,
+    event: QueryEvent,
+) -> Answer {
+    let answer = event.apply(q);
+    trace.push(event);
+    answers.push(answer.clone());
+    answer
+}
+
+/// Drives the probe sweep plus the random walk, recording every call.
+///
+/// All adaptive decisions (assign only after an admitting check, the
+/// live-instance set fed by eviction answers) come from the recording
+/// module's own answers, which is exactly what the lockstep oracle used
+/// to consult — so a replay that stops at the first divergence compares
+/// the same call sequence the old pairwise driver issued.
+fn record_into<Q: ContentionQuery>(
+    q: &mut Q,
+    trace: &mut QueryTrace,
+    answers: &mut Vec<Answer>,
+    num_ops: usize,
+    span: u32,
+    trace_seed: u64,
+) {
+    // ---- Phase 1: pairwise probe sweep. Assign each operation alone at
+    // cycle `span`, then read every latency offset back out via `check`.
+    for x in 0..num_ops {
+        let x = OpId(x as u32);
+        let ca = emit(q, trace, answers, QueryEvent::Check { op: x, cycle: span });
+        if ca.response != Response::Admitted(true) {
+            continue; // does not fit (modulo); replay still compares the verdict.
+        }
+        emit(
+            q,
+            trace,
+            answers,
+            QueryEvent::Assign { inst: OpInstance(0), op: x, cycle: span },
+        );
+        for y in 0..num_ops {
+            let y = OpId(y as u32);
+            for t in 0..=2 * span {
+                emit(q, trace, answers, QueryEvent::Check { op: y, cycle: t });
+            }
+        }
+        emit(
+            q,
+            trace,
+            answers,
+            QueryEvent::Free { inst: OpInstance(0), op: x, cycle: span },
+        );
+    }
+
+    // ---- Phase 2: random walk exercising assign_free/free paths (the
+    // optimistic→update transition, owner rebuilds, evictions).
+    let mut rng = SplitMix64::new(trace_seed);
+    let mut live: Vec<(OpInstance, OpId, u32)> = Vec::new();
+    let mut next_inst = 1u32;
+    for _ in 0..400 {
+        let op = OpId(rng.index(num_ops) as u32);
+        let cycle = rng.below(u64::from(3 * span)) as u32;
+        match rng.below(4) {
+            0 => {
+                emit(q, trace, answers, QueryEvent::Check { op, cycle });
+            }
+            1 => {
+                let a = emit(q, trace, answers, QueryEvent::Check { op, cycle });
+                if a.response == Response::Admitted(true) {
+                    let inst = OpInstance(next_inst);
+                    next_inst += 1;
+                    emit(q, trace, answers, QueryEvent::Assign { inst, op, cycle });
+                    live.push((inst, op, cycle));
+                }
+            }
+            2 => {
+                let inst = OpInstance(next_inst);
+                next_inst += 1;
+                let a = emit(q, trace, answers, QueryEvent::AssignFree { inst, op, cycle });
+                if let Response::Evicted(evicted) = &a.response {
+                    live.retain(|(i, _, _)| !evicted.contains(i));
+                }
+                live.push((inst, op, cycle));
+            }
+            _ => {
+                if !live.is_empty() {
+                    let (inst, op, cycle) = live.swap_remove(rng.index(live.len()));
+                    emit(q, trace, answers, QueryEvent::Free { inst, op, cycle });
+                }
+            }
+        }
+    }
+}
+
+/// Records against the original `a` and replays over every query-module
+/// representation of the mutant `b`.
 fn differential_machines(
     a: &MachineDescription,
     b: &MachineDescription,
@@ -76,151 +255,31 @@ fn differential_machines(
     }
     let span = a.max_table_length().max(b.max_table_length()).max(1);
     let ii = span + 1;
+    let packed = a.num_resources() <= 64 && b.num_resources() <= 64;
 
-    if let Some(d) = differential_pair(
-        &mut DiscreteModule::new(a),
-        &mut DiscreteModule::new(b),
-        a.num_operations(),
-        span,
-        trace_seed,
-    ) {
+    // One linear recording serves both linear representations: the two
+    // are verified interchangeable, so a mutant bitvector diverging from
+    // the original's discrete answers is just as dead.
+    let (trace, expected) = record_linear_trace(a, span, trace_seed);
+    if let Some(d) = replay_diff(&trace, &expected, &mut DiscreteModule::new(b)) {
         return Some(format!("discrete: {d}"));
     }
-    if a.num_resources() <= 64 && b.num_resources() <= 64 {
-        let la = WordLayout::widest(64, a.num_resources());
+    if packed {
         let lb = WordLayout::widest(64, b.num_resources());
-        if let Some(d) = differential_pair(
-            &mut BitvecModule::new(a, la),
-            &mut BitvecModule::new(b, lb),
-            a.num_operations(),
-            span,
-            trace_seed,
-        ) {
+        if let Some(d) = replay_diff(&trace, &expected, &mut BitvecModule::new(b, lb)) {
             return Some(format!("bitvec: {d}"));
         }
-        if let Some(d) = differential_pair(
-            &mut ModuloBitvecModule::new(a, ii, la),
-            &mut ModuloBitvecModule::new(b, ii, lb),
-            a.num_operations(),
-            span,
-            trace_seed,
-        ) {
-            return Some(format!("modulo-bitvec (ii {ii}): {d}"));
-        }
     }
-    if let Some(d) = differential_pair(
-        &mut ModuloDiscreteModule::new(a, ii),
-        &mut ModuloDiscreteModule::new(b, ii),
-        a.num_operations(),
-        span,
-        trace_seed,
-    ) {
+
+    let (mtrace, mexpected) = record_modulo_trace(a, ii, span, trace_seed);
+    if let Some(d) = replay_diff(&mtrace, &mexpected, &mut ModuloDiscreteModule::new(b, ii)) {
         return Some(format!("modulo-discrete (ii {ii}): {d}"));
     }
-    None
-}
-
-/// Replays one probe sweep plus one random walk through a pair of
-/// modules, reporting the first divergent answer.
-fn differential_pair<QA, QB>(
-    a: &mut QA,
-    b: &mut QB,
-    num_ops: usize,
-    span: u32,
-    trace_seed: u64,
-) -> Option<String>
-where
-    QA: ContentionQuery,
-    QB: ContentionQuery,
-{
-    // ---- Phase 1: pairwise probe sweep. Assign each operation alone at
-    // cycle `span`, then read every latency offset back out via `check`.
-    for x in 0..num_ops {
-        let x = OpId(x as u32);
-        let (ca, cb) = (a.check(x, span), b.check(x, span));
-        if ca != cb {
-            return Some(format!("check({x}, {span}) on empty table: {ca} vs {cb}"));
-        }
-        if !ca {
-            continue; // does not fit (modulo); agreed by both.
-        }
-        a.assign(OpInstance(0), x, span);
-        b.assign(OpInstance(0), x, span);
-        for y in 0..num_ops {
-            let y = OpId(y as u32);
-            for t in 0..=2 * span {
-                let (ra, rb) = (a.check(y, t), b.check(y, t));
-                if ra != rb {
-                    a.free(OpInstance(0), x, span);
-                    b.free(OpInstance(0), x, span);
-                    return Some(format!("check({y}, {t}) against {x}@{span}: {ra} vs {rb}"));
-                }
-            }
-        }
-        a.free(OpInstance(0), x, span);
-        b.free(OpInstance(0), x, span);
-    }
-
-    // ---- Phase 2: random walk exercising assign_free/free paths (the
-    // optimistic→update transition, owner rebuilds, evictions).
-    let mut rng = SplitMix64::new(trace_seed);
-    let mut live: Vec<(OpInstance, OpId, u32)> = Vec::new();
-    let mut next_inst = 1u32;
-    for step in 0..400 {
-        let op = OpId(rng.index(num_ops) as u32);
-        let cycle = rng.below(u64::from(3 * span)) as u32;
-        match rng.below(4) {
-            0 => {
-                let (ra, rb) = (a.check(op, cycle), b.check(op, cycle));
-                if ra != rb {
-                    return Some(format!("step {step}: check({op}, {cycle}): {ra} vs {rb}"));
-                }
-            }
-            1 => {
-                let (ra, rb) = (a.check(op, cycle), b.check(op, cycle));
-                if ra != rb {
-                    return Some(format!("step {step}: check({op}, {cycle}): {ra} vs {rb}"));
-                }
-                if ra {
-                    let inst = OpInstance(next_inst);
-                    next_inst += 1;
-                    a.assign(inst, op, cycle);
-                    b.assign(inst, op, cycle);
-                    live.push((inst, op, cycle));
-                }
-            }
-            2 => {
-                // Modulo modules refuse ops that do not fit; only
-                // assign_free where both sides agree placement is
-                // possible on an empty table (fit is matrix-determined).
-                let inst = OpInstance(next_inst);
-                next_inst += 1;
-                let mut ea = a.assign_free(inst, op, cycle);
-                let mut eb = b.assign_free(inst, op, cycle);
-                ea.sort_unstable();
-                eb.sort_unstable();
-                if ea != eb {
-                    return Some(format!(
-                        "step {step}: assign_free({op}, {cycle}) evicted {ea:?} vs {eb:?}"
-                    ));
-                }
-                live.retain(|(i, _, _)| !ea.contains(i));
-                live.push((inst, op, cycle));
-            }
-            _ => {
-                if !live.is_empty() {
-                    let (inst, lop, lcycle) = live.swap_remove(rng.index(live.len()));
-                    a.free(inst, lop, lcycle);
-                    b.free(inst, lop, lcycle);
-                }
-            }
-        }
-        if a.num_scheduled() != b.num_scheduled() {
-            return Some(format!(
-                "step {step}: scheduled counts diverged: {} vs {}",
-                a.num_scheduled(),
-                b.num_scheduled()
-            ));
+    if packed {
+        let lb = WordLayout::widest(64, b.num_resources());
+        if let Some(d) = replay_diff(&mtrace, &mexpected, &mut ModuloBitvecModule::new(b, ii, lb))
+        {
+            return Some(format!("modulo-bitvec (ii {ii}): {d}"));
         }
     }
     None
@@ -274,6 +333,43 @@ mod tests {
     fn identical_machines_never_diverge() {
         let m = example_machine();
         assert_eq!(differential_machines(&m, &m, 17), None);
+    }
+
+    #[test]
+    fn recorded_trace_replays_clean_across_representations() {
+        // The recording (discrete) and the replay targets (bitvec,
+        // modulo forms over the same machine) must agree answer for
+        // answer — soundness of using one recording for all of them.
+        let m = example_machine();
+        let span = m.max_table_length().max(1);
+        let (trace, expected) = record_linear_trace(&m, span, 99);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.ii, None);
+        let layout = WordLayout::widest(64, m.num_resources());
+        assert_eq!(
+            replay_diff(&trace, &expected, &mut BitvecModule::new(&m, layout)),
+            None
+        );
+        let ii = span + 1;
+        let (mtrace, mexpected) = record_modulo_trace(&m, ii, span, 99);
+        assert_eq!(mtrace.ii, Some(ii));
+        assert_eq!(
+            replay_diff(&mtrace, &mexpected, &mut ModuloBitvecModule::new(&m, ii, layout)),
+            None
+        );
+    }
+
+    #[test]
+    fn recorded_traces_are_protocol_clean() {
+        // The static protocol checker accepts the oracle's traces: the
+        // recording gates assigns on admitting checks and frees only
+        // live instances, so rmd-analyze can consume them unfiltered.
+        let m = example_machine();
+        let span = m.max_table_length().max(1);
+        let (trace, _) = record_linear_trace(&m, span, 7);
+        assert_eq!(trace.check_protocol(&m), Vec::new());
+        let (mtrace, _) = record_modulo_trace(&m, span + 1, span, 7);
+        assert_eq!(mtrace.check_protocol(&m), Vec::new());
     }
 
     #[test]

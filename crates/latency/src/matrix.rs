@@ -63,6 +63,22 @@ impl ForbiddenMatrix {
         ForbiddenMatrix { n, sets }
     }
 
+    /// Builds a matrix directly from per-pair latency sets, row-major:
+    /// `sets[x * n + y] = F[X][Y]`.
+    ///
+    /// Unlike [`compute`](Self::compute), nothing guarantees the mirror
+    /// or self-contention invariants here — this exists precisely so
+    /// diagnostics ([`check_symmetry`](Self::check_symmetry)) can be
+    /// exercised against matrices that violate them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets.len() == n * n`.
+    pub fn from_sets(n: usize, sets: Vec<LatencySet>) -> Self {
+        assert_eq!(sets.len(), n * n, "need one latency set per op pair");
+        ForbiddenMatrix { n, sets }
+    }
+
     /// Number of operations the matrix covers.
     pub fn num_ops(&self) -> usize {
         self.n

@@ -17,8 +17,8 @@
 //! }
 //! ```
 //!
-//! Deserialization re-validates through
-//! [`MachineDescription::assemble`], so structurally well-formed JSON
+//! Deserialization re-validates through the same checked assembly path
+//! as every other constructor, so structurally well-formed JSON
 //! that describes an invalid machine (dangling resource ids, empty
 //! operations) is rejected just like any other construction path.
 

@@ -25,6 +25,13 @@ impl Span {
             column,
         }
     }
+
+    /// True when the span names no source location (zero-length byte range
+    /// or a zeroed line number). Diagnostics produced by the parser always
+    /// carry non-empty spans; the default span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start || self.line == 0
+    }
 }
 
 impl fmt::Display for Span {
@@ -72,10 +79,10 @@ impl ParseError {
         ParseError { kind, span }
     }
 
-    pub(crate) fn semantic(msg: String) -> Self {
+    pub(crate) fn semantic(msg: String, span: Span) -> Self {
         ParseError {
             kind: ParseErrorKind::Semantic(msg),
-            span: Span::default(),
+            span,
         }
     }
 
@@ -114,7 +121,12 @@ impl fmt::Display for ParseError {
             ParseErrorKind::EmptyRange => {
                 write!(f, "{}: empty cycle range", self.span)
             }
-            ParseErrorKind::Semantic(msg) => write!(f, "invalid machine: {msg}"),
+            ParseErrorKind::Semantic(msg) if self.span.is_empty() => {
+                write!(f, "invalid machine: {msg}")
+            }
+            ParseErrorKind::Semantic(msg) => {
+                write!(f, "{}: invalid machine: {msg}", self.span)
+            }
         }
     }
 }

@@ -178,16 +178,28 @@ pub(crate) fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     });
                 } else {
                     let text = &src[i..j];
-                    let n: u32 = text.parse().map_err(|_| {
-                        ParseError::new(
-                            ParseErrorKind::NumberOverflow,
-                            span1!(tstart, j - i, tline, tcol),
-                        )
-                    })?;
-                    out.push(SpannedTok {
-                        tok: Tok::Int(n),
-                        span: span1!(tstart, j - i, tline, tcol),
-                    });
+                    // Digit runs too large for a u32 still lex — as floats —
+                    // so huge weights printed by the pretty-printer round-trip;
+                    // contexts that require an integer (cycle numbers, bank
+                    // sizes) then report a spanned "expected integer" instead.
+                    match text.parse::<u32>() {
+                        Ok(n) => out.push(SpannedTok {
+                            tok: Tok::Int(n),
+                            span: span1!(tstart, j - i, tline, tcol),
+                        }),
+                        Err(_) => {
+                            let x: f64 = text.parse().map_err(|_| {
+                                ParseError::new(
+                                    ParseErrorKind::NumberOverflow,
+                                    span1!(tstart, j - i, tline, tcol),
+                                )
+                            })?;
+                            out.push(SpannedTok {
+                                tok: Tok::Float(x),
+                                span: span1!(tstart, j - i, tline, tcol),
+                            });
+                        }
+                    }
                 }
                 col += (j - i) as u32;
                 i = j;
@@ -223,9 +235,12 @@ pub(crate) fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
             }
         }
     }
+    // The end-of-input span covers one (virtual) byte past the source so
+    // diagnostics at Eof still carry a non-empty span; clamp to the source
+    // length before slicing with it.
     out.push(SpannedTok {
         tok: Tok::Eof,
-        span: Span::new(src.len(), src.len(), line, col),
+        span: Span::new(src.len(), src.len() + 1, line, col),
     });
     Ok(out)
 }
@@ -316,8 +331,18 @@ mod tests {
     }
 
     #[test]
-    fn reports_number_overflow() {
-        let e = lex("99999999999999999999").unwrap_err();
-        assert!(matches!(e.kind(), ParseErrorKind::NumberOverflow));
+    fn big_integers_lex_as_floats() {
+        // 10^20 does not fit a u32; it must still lex (as a float) so
+        // printed weights of any magnitude round-trip through the parser.
+        assert_eq!(toks("100000000000000000000"), vec![Tok::Float(1e20), Tok::Eof]);
+    }
+
+    #[test]
+    fn eof_span_is_nonempty() {
+        let ts = lex("ab").unwrap();
+        let eof = &ts[1];
+        assert_eq!(eof.tok, Tok::Eof);
+        assert!(eof.span.end > eof.span.start);
+        assert_eq!(eof.span.line, 1);
     }
 }

@@ -49,10 +49,11 @@ mod parser;
 mod printer;
 
 pub use error::{ParseError, ParseErrorKind, Span};
+pub use parser::SourceMap;
 pub use printer::{print, print_alt};
 
 use crate::alternatives::{AltDescription, AltGroups};
-use crate::machine::MachineDescription;
+use crate::machine::{MachineDescription, MachineError};
 
 /// Parses MDL source into an [`AltDescription`] (alternatives not yet
 /// expanded).
@@ -61,7 +62,20 @@ use crate::machine::MachineDescription;
 ///
 /// Returns a [`ParseError`] with a source span on malformed input.
 pub fn parse(src: &str) -> Result<AltDescription, ParseError> {
-    parser::Parser::new(src)?.parse_file()
+    Ok(parse_with_source_map(src)?.0)
+}
+
+/// Like [`parse`], but also returns the [`SourceMap`] recording where each
+/// resource and operation was declared — the hook external tooling (the
+/// `rmd-analyze` linter) uses to attach findings to `.mdl` source lines.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a source span on malformed input.
+pub fn parse_with_source_map(src: &str) -> Result<(AltDescription, SourceMap), ParseError> {
+    let mut p = parser::Parser::new(src)?;
+    let desc = p.parse_file()?;
+    Ok((desc, p.take_map()))
 }
 
 /// Parses MDL source and expands alternatives, yielding the flat
@@ -70,10 +84,29 @@ pub fn parse(src: &str) -> Result<AltDescription, ParseError> {
 /// # Errors
 ///
 /// Returns a [`ParseError`] on malformed input or if the expanded machine
-/// fails validation.
+/// fails validation. Every error — including post-parse semantic ones —
+/// carries a non-empty span into the source.
 pub fn parse_machine(src: &str) -> Result<(MachineDescription, AltGroups), ParseError> {
-    let desc = parse(src)?;
-    desc.expand().map_err(|e| ParseError::semantic(e.to_string()))
+    let (desc, map) = parse_with_source_map(src)?;
+    desc.expand()
+        .map_err(|e| ParseError::semantic(e.to_string(), semantic_span(&e, &desc, &map)))
+}
+
+/// Best-effort span for a post-parse validation failure: point at the
+/// offending declaration when the error names one, else at the machine
+/// name.
+fn semantic_span(e: &MachineError, desc: &AltDescription, map: &SourceMap) -> Span {
+    let span = match e {
+        MachineError::DuplicateResource(name) => {
+            map.resource_span(desc.resource_names(), name)
+        }
+        MachineError::DuplicateOperation(name) | MachineError::EmptyOperation(name) => {
+            let names: Vec<&str> = desc.operations().iter().map(|o| o.name()).collect();
+            map.op_span(&names, name)
+        }
+        _ => None,
+    };
+    span.unwrap_or(map.machine_name)
 }
 
 #[cfg(test)]

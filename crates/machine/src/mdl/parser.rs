@@ -7,9 +7,54 @@ use crate::ids::ResourceId;
 use crate::table::ReservationTable;
 use std::collections::HashMap;
 
+/// Source locations for the declarations of a parsed description, parallel
+/// to the [`AltDescription`] produced alongside it: `resources[i]` is the
+/// declaration span of resource id `i` (bank members share the bank's
+/// span), `ops[i]` covers the name of operation `i`, and
+/// `alternatives[i]` holds the span of each candidate body's opening
+/// brace. Lint tooling uses this to point findings at `.mdl` source lines.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SourceMap {
+    /// Span of the machine-name string literal.
+    pub machine_name: Span,
+    /// Declaration span per resource id.
+    pub resources: Vec<Span>,
+    /// Name span per operation.
+    pub ops: Vec<Span>,
+    /// Opening-brace span per alternative body, per operation.
+    pub alternatives: Vec<Vec<Span>>,
+}
+
+impl SourceMap {
+    /// Span of the last declaration of resource `name`, if recorded.
+    /// "Last" matters for duplicate-declaration diagnostics, which should
+    /// point at the redeclaration rather than the original.
+    pub fn resource_span(&self, names: &[String], name: &str) -> Option<Span> {
+        names
+            .iter()
+            .zip(&self.resources)
+            .rev()
+            .find(|(n, _)| n.as_str() == name)
+            .map(|(_, &s)| s)
+    }
+
+    /// Span of the last operation named `name`. Accepts expanded
+    /// alternative names (`load#1` maps back to `load`).
+    pub fn op_span(&self, names: &[&str], name: &str) -> Option<Span> {
+        let base = name.split('#').next().unwrap_or(name);
+        names
+            .iter()
+            .zip(&self.ops)
+            .rev()
+            .find(|(n, _)| **n == name || **n == base)
+            .map(|(_, &s)| s)
+    }
+}
+
 pub(crate) struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    map: SourceMap,
 }
 
 impl Parser {
@@ -17,7 +62,13 @@ impl Parser {
         Ok(Parser {
             toks: lex(src)?,
             pos: 0,
+            map: SourceMap::default(),
         })
+    }
+
+    /// The source map recorded by a successful `parse_file`.
+    pub(crate) fn take_map(&mut self) -> SourceMap {
+        std::mem::take(&mut self.map)
     }
 
     fn peek(&self) -> &Tok {
@@ -97,6 +148,7 @@ impl Parser {
     /// `file := "machine" STRING "{" resources op* "}"`
     pub(crate) fn parse_file(&mut self) -> Result<AltDescription, ParseError> {
         self.expect_keyword("machine")?;
+        let name_span = self.span();
         let name = match self.peek() {
             Tok::Str(_) => match self.bump() {
                 Tok::Str(s) => s,
@@ -104,6 +156,7 @@ impl Parser {
             },
             _ => return Err(self.expected("machine name string")),
         };
+        self.map.machine_name = name_span;
         self.expect_tok(Tok::LBrace, "`{`")?;
         let mut desc = AltDescription::new(name);
         let mut res_index: HashMap<String, ResourceId> = HashMap::new();
@@ -128,6 +181,7 @@ impl Parser {
         self.expect_keyword("resources")?;
         self.expect_tok(Tok::LBrace, "`{`")?;
         while !matches!(self.peek(), Tok::RBrace) {
+            let decl_span = self.span();
             let name = self.expect_ident()?;
             if matches!(self.peek(), Tok::LBracket) {
                 self.bump();
@@ -137,10 +191,12 @@ impl Parser {
                     let full = format!("{name}{i}");
                     let id = desc.resource(full.clone());
                     index.insert(full, id);
+                    self.map.resources.push(decl_span);
                 }
             } else {
                 let id = desc.resource(name.clone());
                 index.insert(name, id);
+                self.map.resources.push(decl_span);
             }
             self.expect_tok(Tok::Semi, "`;`")?;
         }
@@ -155,6 +211,7 @@ impl Parser {
         index: &HashMap<String, ResourceId>,
     ) -> Result<(), ParseError> {
         self.expect_keyword("op")?;
+        let name_span = self.span();
         let name = self.expect_ident()?;
         let mut weight = 1.0f64;
         if self.eat_keyword("weight") {
@@ -171,9 +228,11 @@ impl Parser {
             };
         }
         let mut tables = Vec::new();
+        let mut body_spans = Vec::new();
         if self.eat_keyword("alt") {
             self.expect_tok(Tok::LBrace, "`{`")?;
             while !matches!(self.peek(), Tok::RBrace) {
+                body_spans.push(self.span());
                 tables.push(self.parse_body(index)?);
             }
             self.expect_tok(Tok::RBrace, "`}`")?;
@@ -181,8 +240,11 @@ impl Parser {
                 return Err(self.expected("at least one alternative body"));
             }
         } else {
+            body_spans.push(self.span());
             tables.push(self.parse_body(index)?);
         }
+        self.map.ops.push(name_span);
+        self.map.alternatives.push(body_spans);
         let mut ob = desc.operation(name).weight(weight);
         for t in tables {
             ob = ob.alternative(t);
@@ -320,6 +382,32 @@ mod tests {
         let e = parse(r#"machine "m" { resources { r; } op x { use r @ 0; } } extra"#)
             .unwrap_err();
         assert!(matches!(e.kind(), ParseErrorKind::Expected { .. }));
+    }
+
+    #[test]
+    fn source_map_records_declaration_spans() {
+        let src = "machine \"m\" {\n    resources { bank[2]; solo; }\n    op x { use solo @ 0; }\n    op y alt {\n        { use bank0 @ 0; }\n        { use bank1 @ 0; }\n    }\n}";
+        let (d, map) = crate::mdl::parse_with_source_map(src).unwrap();
+        assert_eq!(map.machine_name.line, 1);
+        // Bank members share the bank's declaration span.
+        assert_eq!(map.resources.len(), 3);
+        assert_eq!(map.resources[0], map.resources[1]);
+        assert_eq!(map.resources[0].line, 2);
+        assert_eq!(map.resources[2].line, 2);
+        assert_ne!(map.resources[1], map.resources[2]);
+        assert_eq!(map.ops.len(), 2);
+        assert_eq!(map.ops[0].line, 3);
+        assert_eq!(map.ops[1].line, 4);
+        assert_eq!(map.alternatives[0].len(), 1);
+        assert_eq!(map.alternatives[1].len(), 2);
+        assert_eq!(map.alternatives[1][1].line, 6);
+        // Lookup helpers resolve by (possibly expanded) name.
+        assert_eq!(
+            map.resource_span(d.resource_names(), "solo").unwrap().line,
+            2
+        );
+        let names: Vec<&str> = d.operations().iter().map(|o| o.name()).collect();
+        assert_eq!(map.op_span(&names, "y#1").unwrap().line, 4);
     }
 
     #[test]

@@ -23,8 +23,7 @@ struct Case {
     /// occurrence only, so repeated lines stay unambiguous).
     find: &'static str,
     replace: &'static str,
-    /// Expected 1-based line of the reported span (0 for semantic
-    /// errors, which carry no source location).
+    /// Expected 1-based line of the reported span.
     line: u32,
     /// Expected 1-based column, if the case pins one down.
     column: Option<u32>,
@@ -57,8 +56,9 @@ const CASES: &[Case] = &[
         name: "duplicate resource declaration",
         find: "mem_port;",
         replace: "mem_port; coeff_bus;",
-        line: 0,
-        column: None,
+        // Semantic errors point at the offending (re)declaration.
+        line: 13,
+        column: Some(19),
         message: "duplicate resource name `coeff_bus`",
         kind: |k| matches!(k, ParseErrorKind::Semantic(_)),
     },
@@ -68,8 +68,8 @@ const CASES: &[Case] = &[
         replace: "use sreg_wr @ 4294967296;",
         line: 38,
         column: Some(23),
-        message: "number out of range",
-        kind: |k| matches!(k, ParseErrorKind::NumberOverflow),
+        message: "expected integer, found number `4294967296`",
+        kind: |k| matches!(k, ParseErrorKind::Expected { .. }),
     },
     Case {
         name: "empty cycle range",
@@ -148,7 +148,8 @@ fn malformed_fixtures_report_kind_span_and_message() {
 fn semantic_errors_survive_the_parse_error_conversion() {
     // `parse_machine` funnels expansion failures (MachineError) into
     // ParseErrorKind::Semantic; the message must keep the underlying
-    // cause rather than flattening to a generic "invalid machine".
+    // cause rather than flattening to a generic "invalid machine", and
+    // the span must point at the redeclaration.
     let case = CASES
         .iter()
         .find(|c| c.name == "duplicate resource declaration")
@@ -156,6 +157,53 @@ fn semantic_errors_survive_the_parse_error_conversion() {
     let e = mutated_error(case);
     assert_eq!(
         e.to_string(),
-        "invalid machine: duplicate resource name `coeff_bus`"
+        "13:19: invalid machine: duplicate resource name `coeff_bus`"
     );
+}
+
+#[test]
+fn every_parser_error_carries_a_nonempty_span() {
+    // Regression: semantic (post-parse) errors used to carry the default
+    // all-zero span, and errors at end-of-input a zero-length one. Every
+    // diagnostic must now name a real source location.
+    let mut sources: Vec<String> = CASES
+        .iter()
+        .map(|c| fixture_source().replacen(c.find, c.replace, 1))
+        .collect();
+    sources.extend(
+        [
+            // Truncated input: the error sits at Eof.
+            r#"machine "m" { resources { r; }"#,
+            // An operation with no usages fails expansion (semantic).
+            r#"machine "m" { resources { r; } op idle { } op x { use r @ 0; } }"#,
+            // No operations at all (semantic; falls back to the name span).
+            r#"machine "m" { resources { r; } }"#,
+        ]
+        .map(str::to_owned),
+    );
+    for src in &sources {
+        let e = parse_machine(src).expect_err("all inputs here are malformed");
+        let s = e.span();
+        assert!(
+            !s.is_empty() && s.line >= 1 && s.column >= 1,
+            "error `{e}` carries an empty span {s:?} for source: {src}"
+        );
+    }
+}
+
+#[test]
+fn huge_weights_round_trip_through_printer_and_parser() {
+    // Regression: weights at or above 2^32 print as plain digit runs,
+    // which the lexer used to reject with NumberOverflow — a
+    // printer/parser disagreement. They now lex as floats.
+    let src = r#"machine "m" {
+        resources { r; }
+        op hot weight 100000000000000000000 { use r @ 0; }
+        op alt_hot weight 8589934592 alt { { use r @ 0; } { use r @ 1; } }
+    }"#;
+    let (m, _) = parse_machine(src).expect("huge weights parse");
+    let printed = rmd_machine::mdl::print(&m);
+    let (m2, _) = parse_machine(&printed).expect("printed output reparses");
+    assert_eq!(m, m2);
+    assert!((m.operations()[0].weight() - 1e20).abs() < 1e5);
 }

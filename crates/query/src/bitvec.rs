@@ -3,6 +3,8 @@
 use crate::compiled::{CompiledMasks, CompiledUsages};
 use crate::counters::WorkCounters;
 use crate::registry::{OpInstance, Registry};
+#[cfg(debug_assertions)]
+use crate::trace::{ProtocolChecker, QueryEvent};
 use crate::traits::ContentionQuery;
 use rmd_machine::{MachineDescription, OpId};
 
@@ -59,6 +61,9 @@ pub struct BitvecModule {
     horizon_cycles: u32,
     registry: Registry,
     counters: WorkCounters,
+    /// Debug builds validate the query protocol on every call.
+    #[cfg(debug_assertions)]
+    guard: ProtocolChecker,
 }
 
 impl BitvecModule {
@@ -78,6 +83,18 @@ impl BitvecModule {
             horizon_cycles: 0,
             registry: Registry::new(),
             counters: WorkCounters::new(),
+            #[cfg(debug_assertions)]
+            guard: ProtocolChecker::new(machine),
+        }
+    }
+
+    /// Debug-only protocol enforcement; see
+    /// [`DiscreteModule`](crate::DiscreteModule) for the same hook.
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn guard(&mut self, event: QueryEvent) {
+        if let Err(v) = self.guard.observe(&event) {
+            panic!("query-protocol violation in BitvecModule: {v}");
         }
     }
 
@@ -201,6 +218,8 @@ impl ContentionQuery for BitvecModule {
     }
 
     fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::Assign { inst, op, cycle });
         self.counters.assign.calls += 1;
         self.ensure_horizon(cycle + self.usages.length[op.index()]);
         self.word_apply(op, cycle, true, |c| &mut c.assign.units);
@@ -214,6 +233,8 @@ impl ContentionQuery for BitvecModule {
     }
 
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::AssignFree { inst, op, cycle });
         self.counters.assign_free.calls += 1;
         self.ensure_horizon(cycle + self.usages.length[op.index()]);
 
@@ -280,6 +301,8 @@ impl ContentionQuery for BitvecModule {
     }
 
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::Free { inst, op, cycle });
         self.counters.free.calls += 1;
         let removed = self.registry.remove(inst);
         debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
@@ -301,6 +324,8 @@ impl ContentionQuery for BitvecModule {
         self.owner = None;
         self.registry.clear();
         self.counters.reset();
+        #[cfg(debug_assertions)]
+        self.guard.reset();
     }
 
     fn num_scheduled(&self) -> usize {

@@ -3,6 +3,8 @@
 use crate::compiled::CompiledUsages;
 use crate::counters::WorkCounters;
 use crate::registry::{OpInstance, Registry};
+#[cfg(debug_assertions)]
+use crate::trace::{ProtocolChecker, QueryEvent};
 use crate::traits::ContentionQuery;
 use rmd_machine::{MachineDescription, OpId};
 
@@ -36,6 +38,9 @@ pub struct DiscreteModule {
     horizon: u32,
     registry: Registry,
     counters: WorkCounters,
+    /// Debug builds validate the query protocol on every call.
+    #[cfg(debug_assertions)]
+    guard: ProtocolChecker,
 }
 
 impl DiscreteModule {
@@ -47,6 +52,19 @@ impl DiscreteModule {
             horizon: 0,
             registry: Registry::new(),
             counters: WorkCounters::new(),
+            #[cfg(debug_assertions)]
+            guard: ProtocolChecker::new(machine),
+        }
+    }
+
+    /// Debug-only protocol enforcement: panics with a structured
+    /// [`crate::ProtocolViolation`] message on misuse of the four query
+    /// functions. Release builds compile this away entirely.
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn guard(&mut self, event: QueryEvent) {
+        if let Err(v) = self.guard.observe(&event) {
+            panic!("query-protocol violation in DiscreteModule: {v}");
         }
     }
 
@@ -90,6 +108,8 @@ impl ContentionQuery for DiscreteModule {
     }
 
     fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::Assign { inst, op, cycle });
         self.counters.assign.calls += 1;
         self.ensure_horizon(cycle + self.compiled.length[op.index()]);
         for &(r, c) in self.compiled.of(op) {
@@ -102,6 +122,8 @@ impl ContentionQuery for DiscreteModule {
     }
 
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::AssignFree { inst, op, cycle });
         self.counters.assign_free.calls += 1;
         self.ensure_horizon(cycle + self.compiled.length[op.index()]);
         let mut evicted = Vec::new();
@@ -131,6 +153,8 @@ impl ContentionQuery for DiscreteModule {
     }
 
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::Free { inst, op, cycle });
         self.counters.free.calls += 1;
         let removed = self.registry.remove(inst);
         debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
@@ -150,6 +174,8 @@ impl ContentionQuery for DiscreteModule {
         self.owner.fill(None);
         self.registry.clear();
         self.counters.reset();
+        #[cfg(debug_assertions)]
+        self.guard.reset();
     }
 
     fn num_scheduled(&self) -> usize {

@@ -53,6 +53,7 @@ mod counters;
 mod discrete;
 mod modulo;
 mod registry;
+pub mod trace;
 mod traits;
 
 pub use alt::check_with_alt;
@@ -61,4 +62,5 @@ pub use counters::{FnCounter, WorkCounters};
 pub use discrete::DiscreteModule;
 pub use modulo::{ModuloBitvecModule, ModuloDiscreteModule};
 pub use registry::OpInstance;
+pub use trace::{Answer, ProtocolChecker, ProtocolViolation, QueryEvent, QueryTrace, Response};
 pub use traits::ContentionQuery;

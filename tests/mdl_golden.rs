@@ -1,0 +1,73 @@
+//! Golden files: `machines/*.mdl` ships textual renderings of the
+//! built-in models, and this test keeps them byte-identical to what
+//! `mdl::print` produces from the in-code constructors. Regenerate
+//! after editing a model with:
+//!
+//! ```text
+//! cargo test -p rmd-integration --test mdl_golden -- --ignored
+//! ```
+
+use rmd_latency::ForbiddenMatrix;
+use rmd_machine::{mdl, models, MachineDescription};
+use std::path::PathBuf;
+
+/// The models that ship as golden `.mdl` files, keyed by file stem.
+fn golden_models() -> Vec<(&'static str, MachineDescription)> {
+    vec![
+        ("example", models::example_machine()),
+        ("cydra5_subset", models::cydra5_subset()),
+        ("alpha21064", models::alpha21064()),
+        ("mips_r3000", models::mips_r3000()),
+    ]
+}
+
+fn golden_path(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../machines/{stem}.mdl"))
+}
+
+#[test]
+fn shipped_renderings_match_the_builtin_models() {
+    for (stem, m) in golden_models() {
+        let path = golden_path(stem);
+        let shipped = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} — regenerate with \
+                 `cargo test -p rmd-integration --test mdl_golden -- --ignored`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            shipped,
+            mdl::print(&m),
+            "{stem}: machines/{stem}.mdl is stale; regenerate with \
+             `cargo test -p rmd-integration --test mdl_golden -- --ignored`"
+        );
+    }
+}
+
+#[test]
+fn shipped_renderings_reparse_to_equivalent_machines() {
+    // Byte equality above is about review hygiene; this is the semantic
+    // guarantee — the shipped text denotes exactly the built-in model.
+    for (stem, m) in golden_models() {
+        let text = std::fs::read_to_string(golden_path(stem)).expect("golden present");
+        let (back, _) =
+            mdl::parse_machine(&text).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        assert_eq!(back, m, "{stem}: reparse equality");
+        assert_eq!(
+            ForbiddenMatrix::compute(&back),
+            ForbiddenMatrix::compute(&m),
+            "{stem}: forbidden-matrix round trip"
+        );
+    }
+}
+
+#[test]
+#[ignore = "writes machines/*.mdl; run explicitly after editing a built-in model"]
+fn regenerate_golden_renderings() {
+    for (stem, m) in golden_models() {
+        let path = golden_path(stem);
+        std::fs::write(&path, mdl::print(&m))
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
