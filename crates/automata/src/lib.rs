@@ -46,10 +46,12 @@ pub mod cost;
 mod cursor;
 mod factored;
 mod minimize;
+mod module;
 mod state;
 pub mod unrestricted;
 
 pub use automaton::{Automaton, BuildError, Direction, StateId};
+pub use module::AutomataModule;
 pub use cursor::Cursor;
 pub use factored::{partition_resources, FactoredAutomata};
 pub use minimize::{build_minimized, minimize, Minimized};

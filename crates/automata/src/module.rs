@@ -1,0 +1,336 @@
+//! A [`ContentionQuery`] adapter over the forward/reverse automaton
+//! pair, so the automata baseline can sit behind the same interface as
+//! the reservation-table modules and be driven by the cross-backend
+//! conformance suite and the schedulers.
+//!
+//! The pair scheme has no native `free`: automaton states summarize the
+//! whole prefix (suffix) of the schedule, so removing one operation
+//! invalidates every cached state after (before) it. This adapter makes
+//! removal work the only way the representation allows — it keeps the
+//! scheduled-operation list plus a shadow owner map, and **rebuilds**
+//! the [`PairScheduler`] by replaying the surviving operations whenever
+//! `free` or an evicting `assign&free` strikes one out. Each rebuild is
+//! counted as a [`WorkCounters::transitions`] and its replay lookups
+//! are charged to the triggering call, which is exactly the update
+//! overhead the paper's §2 attributes to the automata approach.
+
+use crate::automaton::{Automaton, Direction};
+use crate::unrestricted::PairScheduler;
+use rmd_machine::{MachineDescription, OpId};
+use rmd_query::{ContentionQuery, OpInstance, WorkCounters};
+use std::collections::HashMap;
+
+/// Contention query module backed by a forward/reverse automaton pair.
+///
+/// Unlike the reservation-table modules, the schedule horizon is fixed
+/// at construction: `check` answers `false` for any placement that does
+/// not fit in `0..horizon`, and `assign` of such a placement panics
+/// (the automata cache one state per cycle and cannot grow on demand
+/// without a full rebuild).
+///
+/// # Example
+///
+/// ```
+/// use rmd_automata::{AutomataModule, Automaton, Direction};
+/// use rmd_machine::models::example_machine;
+/// use rmd_query::{ContentionQuery, OpInstance};
+///
+/// let m = example_machine();
+/// let fwd = Automaton::build(&m, Direction::Forward, 1 << 20).unwrap();
+/// let rev = Automaton::build(&m, Direction::Reverse, 1 << 20).unwrap();
+/// let b = m.op_by_name("B").unwrap();
+///
+/// let mut q = AutomataModule::new(&m, &fwd, &rev, 32);
+/// q.assign(OpInstance(0), b, 0);
+/// assert!(!q.check(b, 1)); // 1 ∈ F[B][B]
+/// let evicted = q.assign_free(OpInstance(1), b, 1);
+/// assert_eq!(evicted, vec![OpInstance(0)]);
+/// q.free(OpInstance(1), b, 1);
+/// assert!(q.check(b, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AutomataModule<'a> {
+    machine: &'a MachineDescription,
+    fwd: &'a Automaton,
+    rev: &'a Automaton,
+    horizon: u32,
+    sched: PairScheduler<'a>,
+    /// Per-op `(resource, cycle)` usages sorted by (cycle, resource) —
+    /// the eviction-scan order every reservation-table module uses, so
+    /// `assign_free` reports evictions in the identical order.
+    usages: Vec<Vec<(u32, u32)>>,
+    /// Scheduled instances in insertion order (the replay script).
+    insts: Vec<(OpInstance, OpId, u32)>,
+    /// Shadow owner map: `(resource, cycle)` -> holding instance.
+    owner: HashMap<(u32, u32), OpInstance>,
+    counters: WorkCounters,
+}
+
+impl<'a> AutomataModule<'a> {
+    /// Creates an empty schedule over cycles `0..horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automata are not a Forward/Reverse pair built for
+    /// a machine with this operation count.
+    pub fn new(
+        machine: &'a MachineDescription,
+        fwd: &'a Automaton,
+        rev: &'a Automaton,
+        horizon: u32,
+    ) -> Self {
+        assert_eq!(fwd.direction(), Direction::Forward);
+        assert_eq!(rev.direction(), Direction::Reverse);
+        let usages = machine
+            .operations()
+            .iter()
+            .map(|op| {
+                let mut v: Vec<(u32, u32)> = op
+                    .table()
+                    .usages()
+                    .iter()
+                    .map(|u| (u.resource.0, u.cycle))
+                    .collect();
+                v.sort_unstable_by_key(|&(r, c)| (c, r));
+                v
+            })
+            .collect();
+        AutomataModule {
+            machine,
+            fwd,
+            rev,
+            horizon,
+            sched: PairScheduler::new(machine, fwd, rev, horizon),
+            usages,
+            insts: Vec::new(),
+            owner: HashMap::new(),
+            counters: WorkCounters::new(),
+        }
+    }
+
+    /// The fixed schedule horizon.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The pair scheduler's own overhead counters (automaton lookups,
+    /// cached-state writes) accumulated since the last rebuild.
+    pub fn pair_stats(&self) -> crate::unrestricted::PairStats {
+        self.sched.stats()
+    }
+
+    /// Automaton transition lookups performed since the last call to
+    /// `before`, charged to a work-unit counter.
+    fn charge_lookups(&mut self, before: u64, unit: fn(&mut WorkCounters) -> &mut u64) {
+        let after = self.sched.stats().lookups;
+        *unit(&mut self.counters) += after - before;
+    }
+
+    /// Replays the surviving instances into a fresh pair scheduler.
+    /// The replay's lookups are charged to `unit`; the rebuild itself
+    /// is counted as a transition.
+    fn rebuild(&mut self, unit: fn(&mut WorkCounters) -> &mut u64) {
+        let mut sched = PairScheduler::new(self.machine, self.fwd, self.rev, self.horizon);
+        for &(_, op, cycle) in &self.insts {
+            sched.insert(op, cycle);
+        }
+        *unit(&mut self.counters) += sched.stats().lookups;
+        self.counters.transitions += 1;
+        self.sched = sched;
+    }
+
+    fn record(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        for &(r, c) in &self.usages[op.index()] {
+            self.owner.insert((r, cycle + c), inst);
+        }
+        self.insts.push((inst, op, cycle));
+    }
+
+    /// Removes `inst` from the scheduled list and owner map, returning
+    /// its (op, cycle). Does **not** rebuild the scheduler.
+    fn strike(&mut self, inst: OpInstance) -> (OpId, u32) {
+        let i = self
+            .insts
+            .iter()
+            .position(|&(x, _, _)| x == inst)
+            .expect("strike of unscheduled instance");
+        let (_, op, cycle) = self.insts.remove(i);
+        for &(r, c) in &self.usages[op.index()] {
+            self.owner.remove(&(r, cycle + c));
+        }
+        (op, cycle)
+    }
+}
+
+impl ContentionQuery for AutomataModule<'_> {
+    fn check(&mut self, op: OpId, cycle: u32) -> bool {
+        self.counters.check.calls += 1;
+        let before = self.sched.stats().lookups;
+        let ok = self.sched.check(op, cycle);
+        self.charge_lookups(before, |c| &mut c.check.units);
+        ok
+    }
+
+    fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        self.counters.assign.calls += 1;
+        let before = self.sched.stats().lookups;
+        self.sched.insert(op, cycle);
+        self.charge_lookups(before, |c| &mut c.assign.units);
+        self.record(inst, op, cycle);
+    }
+
+    fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
+        self.counters.assign_free.calls += 1;
+        // Scan the new reservation's usage slots in the shared (cycle,
+        // resource) order, striking out every conflicting holder — the
+        // same walk the discrete module performs over its owner table.
+        let mut evicted = Vec::new();
+        for ui in 0..self.usages[op.index()].len() {
+            let (r, c) = self.usages[op.index()][ui];
+            self.counters.assign_free.units += 1;
+            if let Some(&holder) = self.owner.get(&(r, cycle + c)) {
+                if holder != inst {
+                    let (hop, _) = self.strike(holder);
+                    self.counters.assign_free.units += self.usages[hop.index()].len() as u64;
+                    evicted.push(holder);
+                }
+            }
+        }
+        if evicted.is_empty() {
+            let before = self.sched.stats().lookups;
+            self.sched.insert(op, cycle);
+            self.charge_lookups(before, |c| &mut c.assign_free.units);
+        } else {
+            // The automata cannot unschedule: replay the survivors.
+            self.rebuild(|c| &mut c.assign_free.units);
+            self.sched.insert(op, cycle);
+        }
+        self.record(inst, op, cycle);
+        evicted
+    }
+
+    fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        self.counters.free.calls += 1;
+        let struck = self.strike(inst);
+        debug_assert_eq!(struck, (op, cycle), "free of unscheduled instance");
+        self.rebuild(|c| &mut c.free.units);
+    }
+
+    fn counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    fn reset(&mut self) {
+        self.sched = PairScheduler::new(self.machine, self.fwd, self.rev, self.horizon);
+        self.insts.clear();
+        self.owner.clear();
+        self.counters.reset();
+    }
+
+    fn num_scheduled(&self) -> usize {
+        self.insts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::models::example_machine;
+
+    fn pair(m: &MachineDescription) -> (Automaton, Automaton) {
+        (
+            Automaton::build(m, Direction::Forward, 1 << 20).unwrap(),
+            Automaton::build(m, Direction::Reverse, 1 << 20).unwrap(),
+        )
+    }
+
+    #[test]
+    fn behaves_like_a_reservation_table_module() {
+        use rmd_query::DiscreteModule;
+        let m = example_machine();
+        let (f, r) = pair(&m);
+        let a = m.op_by_name("A").unwrap();
+        let b = m.op_by_name("B").unwrap();
+        let mut am = AutomataModule::new(&m, &f, &r, 64);
+        let mut ds = DiscreteModule::new(&m);
+        // Arbitrary-order script mixing all four functions.
+        let script: &[(&str, OpId, u32)] = &[
+            ("assign", b, 20),
+            ("assign", a, 3),
+            ("assign", b, 0),
+            ("free", b, 20),
+            ("assign_free", b, 2),
+            ("assign", a, 21),
+            ("free", a, 3),
+        ];
+        let mut next = 0u32;
+        let mut live: Vec<(OpInstance, OpId, u32)> = Vec::new();
+        for &(what, op, t) in script {
+            match what {
+                "assign" => {
+                    assert_eq!(am.check(op, t), ds.check(op, t), "{op:?}@{t}");
+                    let i = OpInstance(next);
+                    next += 1;
+                    am.assign(i, op, t);
+                    ds.assign(i, op, t);
+                    live.push((i, op, t));
+                }
+                "assign_free" => {
+                    let i = OpInstance(next);
+                    next += 1;
+                    let ea = am.assign_free(i, op, t);
+                    let ed = ds.assign_free(i, op, t);
+                    assert_eq!(ea, ed, "{op:?}@{t}");
+                    live.retain(|(x, _, _)| !ea.contains(x));
+                    live.push((i, op, t));
+                }
+                "free" => {
+                    let pos = live
+                        .iter()
+                        .position(|&(_, o, c)| o == op && c == t)
+                        .expect("script frees a live instance");
+                    let (i, _, _) = live.remove(pos);
+                    am.free(i, op, t);
+                    ds.free(i, op, t);
+                }
+                _ => unreachable!(),
+            }
+            assert_eq!(am.num_scheduled(), ds.num_scheduled());
+        }
+        for t in 0..40 {
+            for op in [a, b] {
+                assert_eq!(am.check(op, t), ds.check(op, t), "{op:?} @ {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_horizon_checks_are_false() {
+        let m = example_machine();
+        let (f, r) = pair(&m);
+        let b = m.op_by_name("B").unwrap();
+        let mut am = AutomataModule::new(&m, &f, &r, 10);
+        // B's table is 8 cycles long: 2 is the last in-horizon slot.
+        assert!(am.check(b, 2));
+        assert!(!am.check(b, 3));
+        assert_eq!(am.horizon(), 10);
+    }
+
+    #[test]
+    fn rebuilds_are_metered_as_transitions() {
+        let m = example_machine();
+        let (f, r) = pair(&m);
+        let b = m.op_by_name("B").unwrap();
+        let mut am = AutomataModule::new(&m, &f, &r, 64);
+        am.assign(OpInstance(0), b, 0);
+        assert_eq!(am.counters().transitions, 0);
+        // Evicting assign_free forces a replay...
+        am.assign_free(OpInstance(1), b, 1);
+        assert_eq!(am.counters().transitions, 1);
+        // ...and so does free.
+        am.free(OpInstance(1), b, 1);
+        assert_eq!(am.counters().transitions, 2);
+        assert_eq!(am.num_scheduled(), 0);
+        assert!(am.counters().free.units > 0 || am.num_scheduled() == 0);
+    }
+}

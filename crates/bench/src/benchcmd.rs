@@ -1,0 +1,522 @@
+//! The engine behind the `rmd bench` CLI subcommand.
+//!
+//! Runs reduction, query, and (where the machine supports the loop
+//! suite) scheduler workloads against one machine and emits a
+//! machine-readable `BENCH_<name>.json` record — the perf trajectory
+//! every later optimization PR is judged against.
+//!
+//! Record schema (`"schema": "rmd-bench/1"`): see the field docs on
+//! [`BenchRecord`] and the schema note in the repository README.
+//! Timings are wall-clock milliseconds measured on whatever host ran
+//! the bench; the derived throughput numbers (`queries_per_sec`,
+//! `speedup`) are for trend-watching, not cross-host comparison.
+
+use crate::{
+    aggregate, reduction_report, run_suite_runs, run_suite_runs_parallel, SuiteStats,
+};
+use rmd_machine::{MachineDescription, OpId};
+use rmd_query::{BitvecModule, ContentionQuery, OpInstance, WordLayout, WorkCounters};
+use rmd_sched::Representation;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Schema tag stamped into every record; bump on breaking layout
+/// changes.
+pub const SCHEMA: &str = "rmd-bench/1";
+
+/// Loop count of the full suite (the paper's §8 corpus).
+pub const FULL_LOOPS: usize = 1327;
+
+/// Loop count under `--quick` (CI smoke).
+pub const QUICK_LOOPS: usize = 64;
+
+/// Suite generator seed, matching the `table5`/`table6` binaries so
+/// bench trajectories are comparable with the paper-table runs.
+pub const SUITE_SEED: u64 = 0xC5;
+
+/// Options of one `rmd bench` invocation.
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Shrink every workload for CI smoke runs.
+    pub quick: bool,
+    /// Worker threads for the parallel suite run.
+    pub threads: usize,
+    /// Directory the `BENCH_*.json` records are written to.
+    pub out_dir: PathBuf,
+}
+
+/// A sensible default worker-thread count: the host's available
+/// parallelism, but at least 4 so the parallel-vs-serial comparison is
+/// meaningful even when the runtime underreports cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4)
+}
+
+/// One `BENCH_<name>.json` record.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRecord {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Machine name.
+    pub machine: String,
+    /// Whether the workloads were shrunk by `--quick`.
+    pub quick: bool,
+    /// Worker threads used by the parallel suite run.
+    pub threads: usize,
+    /// Record creation time, seconds since the Unix epoch.
+    pub unix_time_secs: u64,
+    /// Reduction-sweep workload.
+    pub reduction: ReductionBench,
+    /// Contention-query workload.
+    pub query: QueryBench,
+    /// Loop-suite scheduling workload; `null` for machines outside the
+    /// Cydra benchmark-subset vocabulary.
+    pub scheduler: Option<SchedulerBench>,
+}
+
+/// Timing of repeated full reduction sweeps (Tables 1–4 shape).
+#[derive(Clone, Debug, Serialize)]
+pub struct ReductionBench {
+    /// Sweep repetitions timed.
+    pub rounds: u32,
+    /// Verified reductions performed across all rounds.
+    pub reductions: u64,
+    /// Total wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Verified reductions per second.
+    pub reductions_per_sec: f64,
+}
+
+/// Timing of a deterministic check/assign/free workload on the linear
+/// bitvector module.
+#[derive(Clone, Debug, Serialize)]
+pub struct QueryBench {
+    /// Workload rounds.
+    pub rounds: u32,
+    /// Query-module calls issued (check + assign + free).
+    pub queries: u64,
+    /// Work units handled (paper §8 accounting).
+    pub work_units: u64,
+    /// Total wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Query calls per second.
+    pub queries_per_sec: f64,
+}
+
+/// One bucket of the achieved-II histogram.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IiBucket {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Loops scheduled at it.
+    pub loops: u64,
+}
+
+/// Timing of the loop-suite scheduling run, serial vs parallel.
+#[derive(Clone, Debug, Serialize)]
+pub struct SchedulerBench {
+    /// Loops scheduled.
+    pub loops: usize,
+    /// Total operations placed (sum of loop body sizes).
+    pub ops_scheduled: u64,
+    /// Serial wall-clock milliseconds.
+    pub serial_wall_ms: f64,
+    /// Parallel wall-clock milliseconds at [`BenchRecord::threads`].
+    pub parallel_wall_ms: f64,
+    /// `serial_wall_ms / parallel_wall_ms` (< 1 means parallel lost —
+    /// expected on single-core hosts, recorded faithfully either way).
+    pub speedup: f64,
+    /// Whether the parallel run reproduced the serial per-loop results
+    /// bit-for-bit (times, IIs, statistics, and work counters).
+    pub schedules_identical: bool,
+    /// Query-module calls per second of the serial run.
+    pub queries_per_sec: f64,
+    /// Achieved-II histogram over the suite.
+    pub ii_histogram: Vec<IiBucket>,
+    /// The paper's Table 5/6 statistics for the run.
+    pub stats: SuiteStats,
+}
+
+/// Whether `m` carries the Cydra benchmark-subset vocabulary the loop
+/// suite is generated from.
+pub fn suite_supported(m: &MachineDescription) -> bool {
+    [
+        "load.w.0", "load.w.1", "store.w.0", "store.w.1", "aadd.0", "aadd.1", "fadd", "fmul",
+        "fmul.d", "iadd", "recip", "brtop",
+    ]
+    .iter()
+    .all(|n| m.op_by_name(n).is_some())
+}
+
+fn reduction_bench(m: &MachineDescription, rounds: u32) -> ReductionBench {
+    let mut reductions = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let report = reduction_report(m, &[32, 64]);
+        // Every column past "original" is one verified reduction.
+        reductions += report.columns.len().saturating_sub(1) as u64;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    ReductionBench {
+        rounds,
+        reductions,
+        wall_ms: wall * 1e3,
+        reductions_per_sec: reductions as f64 / wall.max(1e-9),
+    }
+}
+
+fn query_bench(m: &MachineDescription, rounds: u32) -> QueryBench {
+    let layout = WordLayout::widest(64, m.num_resources());
+    let mut q = BitvecModule::new(m, layout);
+    let nops = m.num_operations() as u32;
+    let mut totals = WorkCounters::new();
+    let start = Instant::now();
+    for round in 0..rounds {
+        // Greedy fill over a cycle window, then tear down in reverse —
+        // exercises check, assign, and free on live state.
+        let mut placed: Vec<(u32, OpId, u32)> = Vec::new();
+        let mut inst = 0u32;
+        for cycle in 0..512u32 {
+            let op = OpId((cycle + round) % nops.max(1));
+            if q.check(op, cycle) {
+                q.assign(OpInstance(inst), op, cycle);
+                placed.push((inst, op, cycle));
+                inst += 1;
+            }
+        }
+        for &(i, op, c) in placed.iter().rev() {
+            q.free(OpInstance(i), op, c);
+        }
+        totals.merge(q.counters());
+        q.reset();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let queries = totals.total_calls();
+    QueryBench {
+        rounds,
+        queries,
+        work_units: totals.total_units(),
+        wall_ms: wall * 1e3,
+        queries_per_sec: queries as f64 / wall.max(1e-9),
+    }
+}
+
+fn scheduler_bench(m: &MachineDescription, opts: &BenchOptions) -> SchedulerBench {
+    let ops = rmd_loops::OpSet::for_cydra_subset(m);
+    let count = if opts.quick { QUICK_LOOPS } else { FULL_LOOPS };
+    let loops = rmd_loops::suite(&ops, count, SUITE_SEED);
+    let repr = Representation::Bitvec(WordLayout::widest(64, m.num_resources()));
+    let budget_ratio = 6.0;
+
+    let t0 = Instant::now();
+    let serial = run_suite_runs(m, m, &loops, repr, budget_ratio);
+    let serial_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run_suite_runs_parallel(m, m, &loops, repr, budget_ratio, opts.threads);
+    let parallel_wall = t1.elapsed().as_secs_f64();
+
+    let schedules_identical = serial == parallel;
+    let stats = aggregate(&serial, budget_ratio);
+    let ops_scheduled: u64 = serial.iter().map(|r| r.ops as u64).sum();
+    let queries: u64 = serial.iter().map(|r| r.counters.total_calls()).sum();
+    let mut hist: BTreeMap<u32, u64> = BTreeMap::new();
+    for r in &serial {
+        *hist.entry(r.ii).or_insert(0) += 1;
+    }
+
+    SchedulerBench {
+        loops: loops.len(),
+        ops_scheduled,
+        serial_wall_ms: serial_wall * 1e3,
+        parallel_wall_ms: parallel_wall * 1e3,
+        speedup: serial_wall / parallel_wall.max(1e-9),
+        schedules_identical,
+        queries_per_sec: queries as f64 / serial_wall.max(1e-9),
+        ii_histogram: hist
+            .into_iter()
+            .map(|(ii, loops)| IiBucket { ii, loops })
+            .collect(),
+        stats,
+    }
+}
+
+/// Runs all applicable workloads against `machine`.
+pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> BenchRecord {
+    let (red_rounds, query_rounds) = if opts.quick { (1, 8) } else { (3, 64) };
+    BenchRecord {
+        schema: SCHEMA.to_owned(),
+        machine: machine.name().to_owned(),
+        quick: opts.quick,
+        threads: opts.threads,
+        unix_time_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        reduction: reduction_bench(machine, red_rounds),
+        query: query_bench(machine, query_rounds),
+        scheduler: suite_supported(machine).then(|| scheduler_bench(machine, opts)),
+    }
+}
+
+/// Writes `record` as `BENCH_<machine>.json` under `out_dir` and
+/// returns the path.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory cannot be created
+/// or the file cannot be written.
+pub fn write_bench_record(record: &BenchRecord, out_dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("BENCH_{}.json", record.machine));
+    let json = serde_json::to_string_pretty(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// Checks that `s` is one well-formed JSON value (full syntax: objects,
+/// arrays, strings with escapes, numbers, literals). The workspace's
+/// offline `serde_json` shim only serializes, so tests and smoke jobs
+/// use this to assert that emitted records parse.
+pub fn json_is_well_formed(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    if !parse_value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => false,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return false;
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1F => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > start
+    };
+    if !digits(b, pos) {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::models::{cydra5_subset, example_machine};
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e3",
+            "\"a\\nb\\u00e9\"",
+            "{\"a\": [1, 2.5, true, null], \"b\": {\"c\": \"d\"}}",
+        ] {
+            assert!(json_is_well_formed(good), "{good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{} {}",
+            "01e",
+            "\"bad\\q\"",
+        ] {
+            assert!(!json_is_well_formed(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn suite_support_matches_vocabulary() {
+        assert!(suite_supported(&cydra5_subset()));
+        assert!(!suite_supported(&example_machine()));
+    }
+
+    #[test]
+    fn bench_record_for_non_suite_machine() {
+        let opts = BenchOptions {
+            quick: true,
+            threads: 2,
+            out_dir: PathBuf::from("."),
+        };
+        let rec = bench_machine(&example_machine(), &opts);
+        assert_eq!(rec.schema, SCHEMA);
+        assert!(rec.scheduler.is_none());
+        assert!(rec.query.queries > 0);
+        assert!(rec.query.queries_per_sec > 0.0);
+        assert!(rec.reduction.reductions > 0);
+        let json = serde_json::to_string_pretty(&rec).unwrap();
+        assert!(json_is_well_formed(&json), "{json}");
+    }
+
+    #[test]
+    fn bench_record_round_trips_to_disk() {
+        let opts = BenchOptions {
+            quick: true,
+            threads: 2,
+            out_dir: std::env::temp_dir().join("rmd-benchcmd-test"),
+        };
+        let mut rec = bench_machine(&example_machine(), &opts);
+        rec.machine = "benchcmd-unit".into(); // avoid clobbering real records
+        let path = write_bench_record(&rec, &opts.out_dir).unwrap();
+        assert!(path.ends_with("BENCH_benchcmd-unit.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(json_is_well_formed(&body));
+        assert!(body.contains("\"schema\": \"rmd-bench/1\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

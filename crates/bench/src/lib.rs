@@ -6,10 +6,13 @@ use rmd_core::{avg_word_usages, reduce, verify_equivalence, Objective, Reduction
 use rmd_latency::{ClassPartition, ForbiddenMatrix};
 use rmd_loops::Loop;
 use rmd_machine::MachineDescription;
-use rmd_query::{WordLayout, WorkCounters};
+use rmd_query::{ModuloMaskCache, WordLayout, WorkCounters};
 use rmd_sched::{mii, ImsConfig, IterativeModuloScheduler, Representation};
 use serde::Serialize;
 use std::path::Path;
+
+pub mod benchcmd;
+pub mod parallel;
 
 /// One column of a paper Table 1–4 style report.
 #[derive(Clone, Debug, Serialize)]
@@ -103,6 +106,19 @@ pub fn reduction_report(machine: &MachineDescription, word_bits: &[u32]) -> Redu
         max_latency: cf.max_latency(),
         columns,
     }
+}
+
+/// Runs [`reduction_report`] for several machines across up to
+/// `threads` worker threads (see [`parallel::run_indexed`]); reports
+/// come back in input order, identical to mapping serially.
+pub fn reduction_reports_parallel(
+    machines: &[&MachineDescription],
+    word_bits: &[u32],
+    threads: usize,
+) -> Vec<ReductionReport> {
+    parallel::run_indexed(machines.len(), threads, |i| {
+        reduction_report(machines[i], word_bits)
+    })
 }
 
 /// Reduces under `objective` and asserts exact equivalence.
@@ -244,21 +260,121 @@ impl From<&WorkCounters> for CounterSummary {
     }
 }
 
-/// Schedules every loop of `loops` on `machine` with the given
-/// representation and budget ratio, aggregating the paper's statistics.
-/// `mii_machine` supplies the MII (pass the original description when
-/// `machine` is a reduction so trajectories are comparable).
-pub fn run_suite(
+/// Per-loop outcome of a suite run — the unit of work sharded by the
+/// parallel runner and folded (always in suite order) by [`aggregate`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopRun {
+    /// Operations in the loop body.
+    pub ops: usize,
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// The MII lower bound (computed from the MII machine).
+    pub mii: u32,
+    /// Issue time per node — schedule-identity checks between serial and
+    /// parallel runs compare these directly.
+    pub times: Vec<u32>,
+    /// Scheduling decisions per operation, one entry per II attempt.
+    pub per_attempt_ratio: Vec<f64>,
+    /// Decisions reversed by resource eviction.
+    pub reversed_by_resource: u64,
+    /// Decisions reversed by dependence violation.
+    pub reversed_by_dependence: u64,
+    /// Query-module work counters for this loop.
+    pub counters: WorkCounters,
+}
+
+/// A fresh per-worker mask cache when the representation can use one.
+fn mask_cache_for(machine: &MachineDescription, repr: Representation) -> Option<ModuloMaskCache> {
+    match repr {
+        Representation::Bitvec(layout) => Some(ModuloMaskCache::new(machine, layout)),
+        Representation::Discrete => None,
+    }
+}
+
+/// Schedules one loop: the worker body shared by the serial and
+/// parallel suite runners.
+fn run_one(
+    ims: &IterativeModuloScheduler,
+    machine: &MachineDescription,
+    mii_machine: &MachineDescription,
+    l: &Loop,
+    repr: Representation,
+    cache: Option<&mut ModuloMaskCache>,
+) -> LoopRun {
+    let m = mii::mii(&l.graph, mii_machine);
+    let r = match cache {
+        Some(c) => ims.schedule_with_mii_cached(&l.graph, machine, repr, m, c),
+        None => ims.schedule_with_mii(&l.graph, machine, repr, m),
+    }
+    .unwrap_or_else(|e| panic!("{}: {e}", l.name));
+    LoopRun {
+        ops: l.graph.num_nodes(),
+        ii: r.ii,
+        mii: r.mii,
+        times: r.times,
+        per_attempt_ratio: r.per_attempt_ratio,
+        reversed_by_resource: r.reversed_by_resource,
+        reversed_by_dependence: r.reversed_by_dependence,
+        counters: r.counters,
+    }
+}
+
+/// Schedules every loop of `loops` serially, returning per-loop results
+/// in suite order. [`aggregate`] folds them into [`SuiteStats`];
+/// [`run_suite`] is the one-call wrapper.
+pub fn run_suite_runs(
     machine: &MachineDescription,
     mii_machine: &MachineDescription,
     loops: &[Loop],
     repr: Representation,
     budget_ratio: f64,
-) -> SuiteStats {
+) -> Vec<LoopRun> {
     let ims = IterativeModuloScheduler::new(ImsConfig {
         budget_ratio,
         ..ImsConfig::default()
     });
+    let mut cache = mask_cache_for(machine, repr);
+    loops
+        .iter()
+        .map(|l| run_one(&ims, machine, mii_machine, l, repr, cache.as_mut()))
+        .collect()
+}
+
+/// Schedules every loop of `loops` across up to `threads` worker
+/// threads with work-stealing (see [`parallel::run_indexed_with`]).
+///
+/// Results are identical to [`run_suite_runs`] and come back in suite
+/// order: each loop is scheduled independently by a deterministic
+/// scheduler, each worker owns a private [`ModuloMaskCache`] (sharing
+/// is only of immutable compiled masks, never of reservation state),
+/// and merging is positional. Only wall-clock time depends on the
+/// thread count.
+pub fn run_suite_runs_parallel(
+    machine: &MachineDescription,
+    mii_machine: &MachineDescription,
+    loops: &[Loop],
+    repr: Representation,
+    budget_ratio: f64,
+    threads: usize,
+) -> Vec<LoopRun> {
+    let ims = IterativeModuloScheduler::new(ImsConfig {
+        budget_ratio,
+        ..ImsConfig::default()
+    });
+    parallel::run_indexed_with(
+        loops.len(),
+        threads,
+        || mask_cache_for(machine, repr),
+        |cache, i| run_one(&ims, machine, mii_machine, &loops[i], repr, cache.as_mut()),
+    )
+}
+
+/// Folds per-loop results into the paper's Table 5/6 statistics.
+///
+/// Deterministic in the input order: the serial and parallel runners
+/// both present runs in suite order, so their [`SuiteStats`] agree
+/// bit-for-bit.
+pub fn aggregate(runs: &[LoopRun], budget_ratio: f64) -> SuiteStats {
     let mut ops_v = Vec::new();
     let mut ii_v = Vec::new();
     let mut ratio_v = Vec::new();
@@ -271,12 +387,8 @@ pub fn run_suite(
     let mut reversals_total = 0u64;
     let mut counters = WorkCounters::new();
 
-    for l in loops {
-        let m = mii::mii(&l.graph, mii_machine);
-        let r = ims
-            .schedule_with_mii(&l.graph, machine, repr, m)
-            .unwrap_or_else(|e| panic!("{}: {e}", l.name));
-        ops_v.push(l.graph.num_nodes() as f64);
+    for r in runs {
+        ops_v.push(r.ops as f64);
         ii_v.push(f64::from(r.ii));
         ratio_v.push(f64::from(r.ii) / f64::from(r.mii));
         for &ratio in &r.per_attempt_ratio {
@@ -298,13 +410,13 @@ pub fn run_suite(
     }
 
     SuiteStats {
-        loops: loops.len(),
+        loops: runs.len(),
         ops: Distribution::of(&ops_v),
         ii: Distribution::of(&ii_v),
         ii_ratio: Distribution::of(&ratio_v),
         decisions_per_op: Distribution::of(&dec_v),
-        at_mii: at_mii as f64 / loops.len() as f64,
-        no_reversal: no_reversal as f64 / loops.len() as f64,
+        at_mii: at_mii as f64 / runs.len().max(1) as f64,
+        no_reversal: no_reversal as f64 / runs.len().max(1) as f64,
         budget_exceeded: attempts_over as f64 / attempts_total.max(1) as f64,
         resource_reversal_share: if reversals_total == 0 {
             0.0
@@ -313,6 +425,23 @@ pub fn run_suite(
         },
         counters: (&counters).into(),
     }
+}
+
+/// Schedules every loop of `loops` on `machine` with the given
+/// representation and budget ratio, aggregating the paper's statistics.
+/// `mii_machine` supplies the MII (pass the original description when
+/// `machine` is a reduction so trajectories are comparable).
+pub fn run_suite(
+    machine: &MachineDescription,
+    mii_machine: &MachineDescription,
+    loops: &[Loop],
+    repr: Representation,
+    budget_ratio: f64,
+) -> SuiteStats {
+    aggregate(
+        &run_suite_runs(machine, mii_machine, loops, repr, budget_ratio),
+        budget_ratio,
+    )
 }
 
 /// The representations compared in Table 6, in paper column order,

@@ -1,0 +1,147 @@
+//! A minimal `std::thread::scope`-based work-stealing runner.
+//!
+//! Work items are the indices `0..n`, claimed one at a time from a
+//! shared atomic counter — a worker that finishes a cheap item
+//! immediately steals the next unclaimed one, so no static sharding can
+//! strand a slow shard on one core. Each worker carries private state
+//! (e.g. a [`rmd_query::ModuloMaskCache`]) created by an `init` closure,
+//! and results are returned **in index order** regardless of which
+//! worker computed them: determinism is positional, not temporal.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f` over the indices `0..n` on up to `threads` OS threads and
+/// returns the results in index order.
+///
+/// Each worker thread gets its own state from `init`, threaded through
+/// every call it claims — the hook for per-thread caches that must not
+/// be shared across workers. `threads` is clamped to `1..=n` (a zero
+/// request means serial), and `threads == 1` runs inline on the calling
+/// thread, so the serial path is exactly "call `f` in index order".
+///
+/// # Panics
+///
+/// Propagates a panic from any worker after all workers have stopped.
+pub fn run_indexed_with<S, R, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, init, f) = (&next, &init, &f);
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&mut state, i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => {
+                    for (i, r) in part {
+                        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index in 0..n is claimed exactly once"))
+        .collect()
+}
+
+/// Stateless convenience wrapper over [`run_indexed_with`].
+pub fn run_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_indexed_with(n, threads, || (), |(), i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let got = run_indexed(37, threads, |i| i * i);
+            let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_items_and_zero_threads_are_fine() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_index_claimed_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let _ = run_indexed(100, 8, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn worker_state_is_private_and_reused() {
+        // Each worker's state counts how many items it processed; the
+        // per-item results record the worker-local sequence number, so
+        // summing (last seen + 1) over distinct workers equals n.
+        let results = run_indexed_with(
+            50,
+            4,
+            || 0usize,
+            |seen, _i| {
+                let s = *seen;
+                *seen += 1;
+                s
+            },
+        );
+        assert_eq!(results.len(), 50);
+        // Worker-local sequence numbers start at 0 and are contiguous,
+        // so the total number of 0s equals the number of workers that
+        // processed at least one item.
+        let zeros = results.iter().filter(|&&s| s == 0).count();
+        assert!((1..=4).contains(&zeros), "zeros={zeros}");
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            run_indexed(8, 2, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}

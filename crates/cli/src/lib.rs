@@ -9,6 +9,7 @@
 //! rmd matrix <machine>                  # the forbidden-latency matrix
 //! rmd render <machine>                  # ASCII reservation tables
 //! rmd lint   <machine> [options]        # description lints
+//! rmd bench  [<machine>...] [options]   # perf workloads -> BENCH_*.json
 //! rmd models                            # list built-in models
 //! ```
 //!
@@ -165,6 +166,20 @@ pub enum Command {
         /// Escalate warnings to errors before deciding the exit code.
         deny_warnings: bool,
     },
+    /// `rmd bench [<machine>...] [--quick] [--threads N] [--out DIR]`
+    Bench {
+        /// Machines to benchmark; empty means the default pair
+        /// (`fig1` + `cydra5-subset`).
+        machines: Vec<String>,
+        /// Shrink every workload for CI smoke runs.
+        quick: bool,
+        /// Worker threads for the parallel suite run; `None` picks a
+        /// host-derived default.
+        threads: Option<usize>,
+        /// Output directory for `BENCH_*.json`; `None` means the
+        /// current directory (the repo root, by convention).
+        out: Option<String>,
+    },
     /// `rmd models`
     Models,
     /// `rmd help` or no args.
@@ -251,6 +266,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 machine,
                 json,
                 deny_warnings,
+            })
+        }
+        "bench" => {
+            let mut machines = Vec::new();
+            let mut quick = false;
+            let mut threads = None;
+            let mut out = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    "--threads" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--threads expects a positive number".to_owned())
+                        })?;
+                        let n: usize = v.parse().map_err(|_| {
+                            CliError::Usage(format!(
+                                "--threads expects a positive number, got `{v}`"
+                            ))
+                        })?;
+                        if n == 0 {
+                            return Err(CliError::Usage(
+                                "--threads expects a positive number, got `0`".to_owned(),
+                            ));
+                        }
+                        threads = Some(n);
+                    }
+                    "--out" => {
+                        out = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--out expects a directory".to_owned())
+                        })?);
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown option `{other}`")))
+                    }
+                    machine => machines.push(machine.to_owned()),
+                }
+            }
+            Ok(Command::Bench {
+                machines,
+                quick,
+                threads,
+                out,
             })
         }
         "models" => Ok(Command::Models),
@@ -477,6 +534,61 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
             out.push_str(&rendered);
         }
+        Command::Bench {
+            machines,
+            quick,
+            threads,
+            out: out_dir,
+        } => {
+            use rmd_bench::benchcmd;
+            let specs: Vec<String> = if machines.is_empty() {
+                vec!["fig1".to_owned(), "cydra5-subset".to_owned()]
+            } else {
+                machines.clone()
+            };
+            let opts = benchcmd::BenchOptions {
+                quick: *quick,
+                threads: threads.unwrap_or_else(benchcmd::default_threads),
+                out_dir: out_dir.as_deref().unwrap_or(".").into(),
+            };
+            for spec in &specs {
+                let m = load_machine(spec)?;
+                let mut rec = benchcmd::bench_machine(&m, &opts);
+                // Key the record by the spec the user asked for (model
+                // name, or file stem for .mdl paths) so filenames are
+                // predictable regardless of internal machine names.
+                rec.machine = if MODEL_NAMES.contains(&spec.as_str()) {
+                    spec.clone()
+                } else {
+                    std::path::Path::new(spec)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| spec.clone())
+                };
+                let path = benchcmd::write_bench_record(&rec, &opts.out_dir)
+                    .map_err(|e| CliError::Internal(format!("cannot write bench record: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "{}: {:.0} queries/s, {:.1} reductions/s",
+                    rec.machine, rec.query.queries_per_sec, rec.reduction.reductions_per_sec
+                );
+                if let Some(s) = &rec.scheduler {
+                    let _ = writeln!(
+                        out,
+                        "  suite: {} loops / {} ops; serial {:.0} ms, parallel {:.0} ms \
+                         on {} threads (speedup {:.2}, identical schedules: {})",
+                        s.loops,
+                        s.ops_scheduled,
+                        s.serial_wall_ms,
+                        s.parallel_wall_ms,
+                        rec.threads,
+                        s.speedup,
+                        s.schedules_identical
+                    );
+                }
+                let _ = writeln!(out, "  [recorded {}]", path.display());
+            }
+        }
         Command::Verify { left, right } => {
             let a = load_machine(left)?;
             let b = load_machine(right)?;
@@ -550,6 +662,7 @@ USAGE:
     rmd render <machine>                     ASCII reservation tables
     rmd table  <machine>                     paper-style reduction report
     rmd lint   <machine> [options]           lint the description
+    rmd bench  [<machine>...] [options]      perf workloads -> BENCH_*.json
     rmd models                               list built-in models
 
 OPTIONS (reduce):
@@ -560,6 +673,15 @@ OPTIONS (reduce):
 OPTIONS (lint):
     --format text|json                       report format [text]
     --deny warnings                          treat warnings as errors
+
+OPTIONS (bench):
+    --quick                                  smaller workloads (CI smoke)
+    --threads <N>                            worker threads [host cores, min 4]
+    --out <DIR>                              output directory [.]
+
+Bench with no machines runs the default pair (fig1, cydra5-subset) and
+writes one BENCH_<name>.json record per machine into the output
+directory.
 
 Lint exits 0 when no error-severity findings remain and 6 otherwise;
 the report is always printed on stdout.
@@ -812,5 +934,111 @@ mod table_tests {
         let out = run(&c).expect("table runs");
         assert!(out.contains("number of resources"), "{out}");
         assert!(out.contains("res-uses"));
+    }
+}
+
+#[cfg(test)]
+mod bench_tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn usage_error(args_: &[&str]) -> CliError {
+        match parse_args(&args(args_)) {
+            Err(e) => e,
+            Ok(c) => unreachable!("expected a usage error, parsed {c:?}"),
+        }
+    }
+
+    /// One row of the bench parse table: argv, then the expected
+    /// machines / quick / threads / out fields of [`Command::Bench`].
+    type BenchRow<'a> = (&'a [&'a str], &'a [&'a str], bool, Option<usize>, Option<&'a str>);
+
+    #[test]
+    fn parses_bench_command_lines() {
+        let table: &[BenchRow] = &[
+            (&["bench"], &[], false, None, None),
+            (&["bench", "--quick"], &[], true, None, None),
+            (&["bench", "fig1"], &["fig1"], false, None, None),
+            (
+                &["bench", "fig1", "cydra5-subset", "--threads", "3"],
+                &["fig1", "cydra5-subset"],
+                false,
+                Some(3),
+                None,
+            ),
+            (
+                &["bench", "mips", "--quick", "--out", "/tmp/b"],
+                &["mips"],
+                true,
+                None,
+                Some("/tmp/b"),
+            ),
+        ];
+        for (argv, machines, quick, threads, out) in table {
+            let c = parse_args(&args(argv)).expect("valid bench command line");
+            assert_eq!(
+                c,
+                Command::Bench {
+                    machines: machines.iter().map(|s| s.to_string()).collect(),
+                    quick: *quick,
+                    threads: *threads,
+                    out: out.map(str::to_owned),
+                },
+                "{argv:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bench_usage_with_exit_code_2() {
+        for bad in [
+            &["bench", "--threads"][..],
+            &["bench", "--threads", "0"][..],
+            &["bench", "--threads", "many"][..],
+            &["bench", "--out"][..],
+            &["bench", "--bogus"][..],
+        ] {
+            let e = usage_error(bad);
+            assert!(matches!(e, CliError::Usage(_)), "{bad:?} -> {e:?}");
+            assert_eq!(e.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn bench_rejects_unknown_machine_names() {
+        // An unknown model name falls through to the file-read path and
+        // surfaces as a parse error (exit 3), like every other command.
+        let e = run(&Command::Bench {
+            machines: vec!["not-a-model".into()],
+            quick: true,
+            threads: Some(1),
+            out: None,
+        })
+        .expect_err("unknown machine must fail");
+        assert!(matches!(e, CliError::Parse { .. }), "{e:?}");
+        assert_eq!(e.exit_code(), 3);
+    }
+
+    #[test]
+    fn bench_quick_writes_a_well_formed_record() {
+        let dir = std::env::temp_dir().join(format!("rmd-bench-test-{}", std::process::id()));
+        let out = run(&Command::Bench {
+            machines: vec!["fig1".into()],
+            quick: true,
+            threads: Some(2),
+            out: Some(dir.to_string_lossy().into_owned()),
+        })
+        .expect("quick bench on fig1");
+        assert!(out.contains("fig1:"), "{out}");
+        assert!(out.contains("queries/s"), "{out}");
+        let path = dir.join("BENCH_fig1.json");
+        let body = std::fs::read_to_string(&path).expect("record written");
+        assert!(rmd_bench::benchcmd::json_is_well_formed(&body), "{body}");
+        assert!(body.contains("\"schema\": \"rmd-bench/1\""), "{body}");
+        assert!(body.contains("\"machine\": \"fig1\""), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

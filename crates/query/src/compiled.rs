@@ -103,6 +103,85 @@ impl CompiledMasks {
     }
 }
 
+/// Eagerly expanded modulo reservation masks: for every (operation,
+/// issue-slot) pair under one initiation interval, the `(word, mask)`
+/// list of nonempty packed words the reservation touches.
+///
+/// This is the fully materialized form of the lazy per-slot expansion
+/// the modulo bitvector module used to compute on first use: all
+/// `num_ops × II` slot lists live in two flat arrays (an offset table
+/// plus one contiguous word list), so the hot `check` path is a slice
+/// index followed by word AND/OR — no `Option` probe, no insertion, no
+/// allocation.
+#[derive(Clone, Debug)]
+pub(crate) struct ModuloMasks {
+    ii: u32,
+    /// `start[op * ii + slot] .. start[op * ii + slot + 1]` indexes
+    /// `words`.
+    start: Vec<u32>,
+    /// All slot lists, concatenated in (op, slot) order.
+    words: Vec<(u32, u64)>,
+}
+
+impl ModuloMasks {
+    /// Expands every (op, slot) pair of `usages` for modulo tables with
+    /// initiation interval `ii`, packed `k` cycle-bitvectors per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`, `k == 0`, or a word cannot hold `k`
+    /// cycle-bitvectors of this machine.
+    pub fn new(usages: &CompiledUsages, ii: u32, k: u32) -> Self {
+        let nr = usages.num_resources as u32;
+        assert!(ii > 0, "initiation interval must be positive");
+        assert!(
+            k >= 1 && k * nr <= 64,
+            "k={k} cycles of {nr} resources exceed a 64-bit word"
+        );
+        let nops = usages.usages.len();
+        let mut start = Vec::with_capacity(nops * ii as usize + 1);
+        let mut words: Vec<(u32, u64)> = Vec::new();
+        let mut scratch: Vec<(u32, u64)> = Vec::new();
+        start.push(0u32);
+        for us in &usages.usages {
+            for slot in 0..ii {
+                scratch.clear();
+                for &(r, c) in us {
+                    let s = ((u64::from(slot) + u64::from(c)) % u64::from(ii)) as u32;
+                    let w = s / k;
+                    let bit = (s % k) * nr + r;
+                    match scratch.binary_search_by_key(&w, |&(wo, _)| wo) {
+                        Ok(i) => scratch[i].1 |= 1u64 << bit,
+                        Err(i) => scratch.insert(i, (w, 1u64 << bit)),
+                    }
+                }
+                words.extend_from_slice(&scratch);
+                start.push(words.len() as u32);
+            }
+        }
+        ModuloMasks { ii, start, words }
+    }
+
+    /// The nonempty `(word, mask)` pairs of `op` issued in `slot`
+    /// (`slot < ii`).
+    #[inline]
+    pub fn of(&self, op: OpId, slot: u32) -> &[(u32, u64)] {
+        let i = op.index() * self.ii as usize + slot as usize;
+        &self.words[self.start[i] as usize..self.start[i + 1] as usize]
+    }
+
+    /// The initiation interval the masks were expanded for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Total `(word, mask)` entries across all slot lists — the
+    /// footprint reported by cache statistics.
+    pub fn num_entries(&self) -> usize {
+        self.words.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +226,21 @@ mod tests {
         let c = CompiledMasks::new(&m, 2);
         // Both cycles in word 0: bits 0 and (1*2+1)=3.
         assert_eq!(c.of(OpId(0), 0), &[(0, 0b1001)]);
+    }
+
+    #[test]
+    fn modulo_masks_wrap_around_the_table() {
+        let m = toy(); // x: r0@0, r1@2; nr=2
+        let c = CompiledUsages::new(&m);
+        let mm = ModuloMasks::new(&c, 4, 2);
+        assert_eq!(mm.ii(), 4);
+        // Slot 0: cycles {0, 2} -> slots {0, 2}: word 0 bit 0, word 1
+        // bit (0*2+1)=1.
+        assert_eq!(mm.of(OpId(0), 0), &[(0, 0b01), (1, 0b10)]);
+        // Slot 3 wraps: r0 -> slot 3 (word 1, bit (1*2+0)=2); r1 -> slot
+        // (3+2)%4=1 (word 0, bit (1*2+1)=3).
+        assert_eq!(mm.of(OpId(0), 3), &[(0, 0b1000), (1, 0b100)]);
+        assert_eq!(mm.num_entries(), 8); // 4 slots x 2 words each
     }
 
     #[test]

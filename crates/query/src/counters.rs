@@ -131,6 +131,85 @@ mod tests {
         assert_eq!(w.check.avg(), 0.0);
     }
 
+    /// Deterministically scrambled counters for the associativity test.
+    fn sample(seed: u64) -> WorkCounters {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s % 1_000_003
+        };
+        let mut w = WorkCounters::new();
+        w.check = FnCounter {
+            calls: next(),
+            units: next(),
+        };
+        w.assign = FnCounter {
+            calls: next(),
+            units: next(),
+        };
+        w.assign_free = FnCounter {
+            calls: next(),
+            units: next(),
+        };
+        w.free = FnCounter {
+            calls: next(),
+            units: next(),
+        };
+        w.transitions = next();
+        w
+    }
+
+    /// The parallel suite runner merges per-shard counters in whatever
+    /// grouping the shard boundaries induce; totals must not depend on
+    /// it. Merge is plain `u64` addition, so this pins associativity and
+    /// commutativity rather than fixing drift — any future non-linear
+    /// field (say, a max or an average cached as a float) would fail
+    /// here.
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<WorkCounters> = (0..7).map(sample).collect();
+
+        // Left fold: ((a + b) + c) + ...
+        let mut left = WorkCounters::new();
+        for p in &parts {
+            left.merge(p);
+        }
+
+        // Right-nested grouping: a + (b + (c + ...)).
+        let mut right = WorkCounters::new();
+        for p in parts.iter().rev() {
+            let mut acc = *p;
+            acc.merge(&right);
+            right = acc;
+        }
+        assert_eq!(left, right, "grouping changed merge totals");
+
+        // Arbitrary permutation (reversed and interleaved shards).
+        let order = [3usize, 0, 6, 2, 5, 1, 4];
+        let mut permuted = WorkCounters::new();
+        for &i in &order {
+            permuted.merge(&parts[i]);
+        }
+        assert_eq!(left, permuted, "shard order changed merge totals");
+
+        // Pairwise tree reduction, as a work-stealing runner might do.
+        let mut level: Vec<WorkCounters> = parts.clone();
+        while level.len() > 1 {
+            let mut next_level = Vec::new();
+            for pair in level.chunks(2) {
+                let mut acc = pair[0];
+                if let Some(b) = pair.get(1) {
+                    acc.merge(b);
+                }
+                next_level.push(acc);
+            }
+            level = next_level;
+        }
+        assert_eq!(left, level[0], "tree reduction changed merge totals");
+    }
+
     #[test]
     fn merge_accumulates() {
         let mut a = WorkCounters::new();

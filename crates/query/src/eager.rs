@@ -1,0 +1,312 @@
+//! The eager (compiled-mask, always-owned) query module.
+
+use crate::compiled::{CompiledMasks, CompiledUsages};
+use crate::counters::WorkCounters;
+use crate::registry::{OpInstance, Registry};
+#[cfg(debug_assertions)]
+use crate::trace::{ProtocolChecker, QueryEvent};
+use crate::traits::ContentionQuery;
+use crate::WordLayout;
+use rmd_machine::{MachineDescription, OpId};
+
+/// Contention query module that pairs the bitvector word masks with an
+/// owner table that is maintained from the very first `assign` on.
+///
+/// [`BitvecModule`](crate::BitvecModule) starts *optimistic* (no owner
+/// fields) and pays a one-time scan of the scheduled-operation list the
+/// first time `assign_free` hits a conflict. This module instead keeps
+/// the owner table hot at all times: `check` is still a branch-light
+/// word AND over the compiled masks, but `assign`/`free` additionally
+/// write per-usage owner entries, so `assign_free` never transitions —
+/// its cost is deterministic per call. That trade is the right one for
+/// backtracking schedulers that unschedule frequently, and it gives the
+/// conformance suite a third linear backend with distinct internals.
+///
+/// Work units: one per nonempty word for `check`/`assign`/`free`, one
+/// per usage for `assign_free` — the same accounting as the bitvector
+/// module's update mode.
+///
+/// # Example
+///
+/// ```
+/// use rmd_machine::models::example_machine;
+/// use rmd_query::{CompiledModule, ContentionQuery, OpInstance, WordLayout};
+///
+/// let m = example_machine();
+/// let b = m.op_by_name("B").unwrap();
+/// let mut q = CompiledModule::new(&m, WordLayout::widest(64, m.num_resources()));
+/// q.assign(OpInstance(0), b, 0);
+/// assert!(!q.check(b, 1)); // 1 ∈ F[B][B]
+/// let evicted = q.assign_free(OpInstance(1), b, 1);
+/// assert_eq!(evicted, vec![OpInstance(0)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledModule {
+    masks: CompiledMasks,
+    usages: CompiledUsages,
+    layout: WordLayout,
+    words: Vec<u64>,
+    /// Always maintained: `owner[cycle * num_resources + r]`.
+    owner: Vec<Option<OpInstance>>,
+    horizon_cycles: u32,
+    registry: Registry,
+    counters: WorkCounters,
+    /// Debug builds validate the query protocol on every call.
+    #[cfg(debug_assertions)]
+    guard: ProtocolChecker,
+}
+
+impl CompiledModule {
+    /// Creates an empty partial schedule over `machine` with the given
+    /// word layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout.k * machine.num_resources()` exceeds 64 bits.
+    pub fn new(machine: &MachineDescription, layout: WordLayout) -> Self {
+        CompiledModule {
+            masks: CompiledMasks::new(machine, layout.k),
+            usages: CompiledUsages::new(machine),
+            layout,
+            words: Vec::new(),
+            owner: Vec::new(),
+            horizon_cycles: 0,
+            registry: Registry::new(),
+            counters: WorkCounters::new(),
+            #[cfg(debug_assertions)]
+            guard: ProtocolChecker::new(machine),
+        }
+    }
+
+    /// Debug-only protocol enforcement; see
+    /// [`DiscreteModule`](crate::DiscreteModule) for the same hook.
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn guard(&mut self, event: QueryEvent) {
+        if let Err(v) = self.guard.observe(&event) {
+            panic!("query-protocol violation in CompiledModule: {v}");
+        }
+    }
+
+    /// The word layout in use.
+    pub fn layout(&self) -> WordLayout {
+        self.layout
+    }
+
+    /// The instance holding resource `r` at `cycle`, if any.
+    pub fn owner_of(&self, r: u32, cycle: u32) -> Option<OpInstance> {
+        self.owner.get(self.slot(r, cycle)).copied().flatten()
+    }
+
+    fn ensure_horizon(&mut self, cycles: u32) {
+        if cycles > self.horizon_cycles {
+            let words = (cycles as usize).div_ceil(self.layout.k as usize) + 1;
+            if words > self.words.len() {
+                self.words.resize(words, 0);
+            }
+            self.owner
+                .resize(cycles as usize * self.usages.num_resources, None);
+            self.horizon_cycles = cycles;
+        }
+    }
+
+    #[inline]
+    fn slot(&self, r: u32, cycle: u32) -> usize {
+        cycle as usize * self.usages.num_resources + r as usize
+    }
+
+    /// Clears the flag bit and owner entry of one (resource, cycle).
+    fn clear_usage(&mut self, r: u32, gc: u32) {
+        let s = self.slot(r, gc);
+        self.owner[s] = None;
+        let k = self.layout.k;
+        let bit = (gc % k) * self.usages.num_resources as u32 + r;
+        self.words[(gc / k) as usize] &= !(1u64 << bit);
+    }
+}
+
+impl ContentionQuery for CompiledModule {
+    fn check(&mut self, op: OpId, cycle: u32) -> bool {
+        self.counters.check.calls += 1;
+        let k = self.layout.k;
+        let (a, base) = (cycle % k, (cycle / k) as usize);
+        for &(off, m) in self.masks.of(op, a) {
+            self.counters.check.units += 1;
+            let w = self.words.get(base + off as usize).copied().unwrap_or(0);
+            if w & m != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::Assign { inst, op, cycle });
+        self.counters.assign.calls += 1;
+        self.ensure_horizon(cycle + self.usages.length[op.index()]);
+        let k = self.layout.k;
+        let (a, base) = (cycle % k, (cycle / k) as usize);
+        for i in 0..self.masks.of(op, a).len() {
+            let (off, m) = self.masks.of(op, a)[i];
+            self.counters.assign.units += 1;
+            let w = &mut self.words[base + off as usize];
+            debug_assert_eq!(*w & m, 0, "assign over a reservation");
+            *w |= m;
+        }
+        for i in 0..self.usages.of(op).len() {
+            let (r, c) = self.usages.of(op)[i];
+            let s = self.slot(r, cycle + c);
+            self.owner[s] = Some(inst);
+        }
+        self.registry.insert(inst, op, cycle);
+    }
+
+    fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::AssignFree { inst, op, cycle });
+        self.counters.assign_free.calls += 1;
+        self.ensure_horizon(cycle + self.usages.length[op.index()]);
+        let mut evicted = Vec::new();
+        for i in 0..self.usages.of(op).len() {
+            let (r, c) = self.usages.of(op)[i];
+            self.counters.assign_free.units += 1;
+            let gc = cycle + c;
+            if let Some(holder) = self.owner[self.slot(r, gc)] {
+                if holder != inst {
+                    let (hop, hcycle) = self
+                        .registry
+                        .remove(holder)
+                        .expect("owner entries track registered instances");
+                    for j in 0..self.usages.of(hop).len() {
+                        let (hr, hc) = self.usages.of(hop)[j];
+                        self.counters.assign_free.units += 1;
+                        self.clear_usage(hr, hcycle + hc);
+                    }
+                    evicted.push(holder);
+                }
+            }
+            let s = self.slot(r, gc);
+            self.owner[s] = Some(inst);
+            let k = self.layout.k;
+            let bit = (gc % k) * self.usages.num_resources as u32 + r;
+            self.words[(gc / k) as usize] |= 1u64 << bit;
+        }
+        self.registry.insert(inst, op, cycle);
+        evicted
+    }
+
+    fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        #[cfg(debug_assertions)]
+        self.guard(QueryEvent::Free { inst, op, cycle });
+        self.counters.free.calls += 1;
+        let removed = self.registry.remove(inst);
+        debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
+        let k = self.layout.k;
+        let (a, base) = (cycle % k, (cycle / k) as usize);
+        for i in 0..self.masks.of(op, a).len() {
+            let (off, m) = self.masks.of(op, a)[i];
+            self.counters.free.units += 1;
+            let w = &mut self.words[base + off as usize];
+            debug_assert_eq!(*w & m, m, "free of unreserved bits");
+            *w &= !m;
+        }
+        for i in 0..self.usages.of(op).len() {
+            let (r, c) = self.usages.of(op)[i];
+            let s = self.slot(r, cycle + c);
+            self.owner[s] = None;
+        }
+    }
+
+    fn counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    fn reset(&mut self) {
+        self.words.fill(0);
+        self.owner.fill(None);
+        self.registry.clear();
+        self.counters.reset();
+        #[cfg(debug_assertions)]
+        self.guard.reset();
+    }
+
+    fn num_scheduled(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::DiscreteModule;
+    use rmd_machine::models::example_machine;
+
+    fn module(k: u32) -> (MachineDescription, CompiledModule, OpId, OpId) {
+        let m = example_machine();
+        let a = m.op_by_name("A").unwrap();
+        let b = m.op_by_name("B").unwrap();
+        let q = CompiledModule::new(&m, WordLayout::with_k(64, k));
+        (m, q, a, b)
+    }
+
+    #[test]
+    fn check_matches_discrete_for_all_k() {
+        let m = example_machine();
+        let a = m.op_by_name("A").unwrap();
+        let b = m.op_by_name("B").unwrap();
+        for k in 1..=4 {
+            let mut cm = CompiledModule::new(&m, WordLayout::with_k(64, k));
+            let mut ds = DiscreteModule::new(&m);
+            for (i, (op, cyc)) in [(b, 0u32), (a, 2), (b, 4)].iter().enumerate() {
+                cm.assign(OpInstance(i as u32), *op, *cyc);
+                ds.assign(OpInstance(i as u32), *op, *cyc);
+            }
+            for cyc in 0..16 {
+                for op in [a, b] {
+                    assert_eq!(cm.check(op, cyc), ds.check(op, cyc), "k={k} {op} @{cyc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assign_free_evicts_like_discrete_without_transitions() {
+        let (_, mut q, _, b) = module(4);
+        q.assign(OpInstance(0), b, 0);
+        q.assign(OpInstance(1), b, 4);
+        let evicted = q.assign_free(OpInstance(2), b, 2);
+        let mut e = evicted.clone();
+        e.sort();
+        assert_eq!(e, vec![OpInstance(0), OpInstance(1)]);
+        assert_eq!(q.num_scheduled(), 1);
+        // The owner table was live from the start: no rebuild happened.
+        assert_eq!(q.counters().transitions, 0);
+        assert!(q.check(b, 6));
+    }
+
+    #[test]
+    fn free_restores_emptiness_and_owner_table() {
+        let (_, mut q, a, b) = module(2);
+        q.assign(OpInstance(0), a, 0);
+        q.assign(OpInstance(1), b, 5);
+        assert_eq!(q.owner_of(0, 0), Some(OpInstance(0)));
+        q.free(OpInstance(1), b, 5);
+        q.free(OpInstance(0), a, 0);
+        assert!(q.check(a, 0));
+        assert!(q.check(b, 5));
+        assert_eq!(q.owner_of(0, 0), None);
+        assert_eq!(q.num_scheduled(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state_and_counters() {
+        let (_, mut q, _, b) = module(4);
+        q.assign(OpInstance(0), b, 0);
+        q.check(b, 1);
+        q.reset();
+        assert!(q.check(b, 0));
+        assert_eq!(q.counters().check.calls, 1);
+        assert_eq!(q.num_scheduled(), 0);
+    }
+}

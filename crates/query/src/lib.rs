@@ -16,6 +16,11 @@
 //!   *optimistic* mode without owner fields and falls back to an *update*
 //!   mode (rebuilding owners by scanning the scheduled-operation list)
 //!   the first time it must unschedule something.
+//! * [`CompiledModule`] — the same packed words with an owner table
+//!   maintained from the first `assign` on, so `assign&free` never pays
+//!   the bitvector module's rebuild transition. A third linear backend
+//!   with distinct internals, exercised by the cross-backend
+//!   conformance suite.
 //!
 //! Both exist in linear-schedule form and in modulo form
 //! ([`ModuloDiscreteModule`], [`ModuloBitvecModule`]) for software
@@ -51,6 +56,7 @@ mod bitvec;
 mod compiled;
 mod counters;
 mod discrete;
+mod eager;
 mod modulo;
 mod registry;
 pub mod trace;
@@ -60,7 +66,8 @@ pub use alt::check_with_alt;
 pub use bitvec::{BitvecModule, WordLayout};
 pub use counters::{FnCounter, WorkCounters};
 pub use discrete::DiscreteModule;
-pub use modulo::{ModuloBitvecModule, ModuloDiscreteModule};
+pub use eager::CompiledModule;
+pub use modulo::{ModuloBitvecModule, ModuloDiscreteModule, ModuloMaskCache};
 pub use registry::OpInstance;
 pub use trace::{Answer, ProtocolChecker, ProtocolViolation, QueryEvent, QueryTrace, Response};
 pub use traits::ContentionQuery;

@@ -6,12 +6,15 @@
 //! Both query representations exist in modulo form; the scheduler
 //! allocates one per scheduling attempt (II is fixed per attempt).
 
-use crate::compiled::CompiledUsages;
+use crate::compiled::{CompiledUsages, ModuloMasks};
 use crate::counters::WorkCounters;
 use crate::registry::{OpInstance, Registry};
 use crate::traits::ContentionQuery;
 use crate::WordLayout;
 use rmd_machine::{MachineDescription, OpId};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Discrete-representation modulo reservation table.
 ///
@@ -196,25 +199,24 @@ impl ContentionQuery for ModuloDiscreteModule {
     }
 }
 
-/// The compiled word operations of one (op, issue-slot) pair:
-/// `(word index, mask)` per touched word.
-type WordMasks = Vec<(u32, u64)>;
-
 /// Bitvector-representation modulo reservation table.
 ///
 /// The II slots are packed `k` cycle-bitvectors per word
 /// (`ceil(II / k)` words). Because a reservation wraps around the table,
 /// the word masks of an operation depend on its issue slot modulo II;
-/// they are compiled lazily, once per distinct issue slot.
+/// they are expanded eagerly at construction (and shareable across
+/// modules via [`ModuloMaskCache`]), so the hot `check` path is pure
+/// word AND/OR over a precompiled slice — no lazy-fill branch.
 #[derive(Clone, Debug)]
 pub struct ModuloBitvecModule {
-    usages: CompiledUsages,
+    usages: Arc<CompiledUsages>,
     layout: WordLayout,
     ii: u32,
     words: Vec<u64>,
-    /// Lazily compiled masks: `masks[op][cycle mod ii]`.
-    masks: Vec<Vec<Option<WordMasks>>>,
-    fits: Vec<bool>,
+    /// Eagerly expanded per-(op, slot) word masks, shared when built
+    /// through a [`ModuloMaskCache`].
+    masks: Arc<ModuloMasks>,
+    fits: Arc<[bool]>,
     owner: Option<Vec<Option<OpInstance>>>,
     registry: Registry,
     counters: WorkCounters,
@@ -229,22 +231,28 @@ impl ModuloBitvecModule {
     /// cycle-bitvectors of this machine.
     pub fn new(machine: &MachineDescription, ii: u32, layout: WordLayout) -> Self {
         assert!(ii > 0, "initiation interval must be positive");
-        let usages = CompiledUsages::new(machine);
-        let nr = usages.num_resources as u32;
-        assert!(
-            layout.k >= 1 && layout.k * nr <= 64,
-            "k={} cycles of {nr} resources exceed a 64-bit word",
-            layout.k
-        );
+        let usages = Arc::new(CompiledUsages::new(machine));
+        let masks = Arc::new(ModuloMasks::new(&usages, ii, layout.k));
+        let fits: Arc<[bool]> = compute_fits(&usages, ii).into();
+        Self::from_parts(usages, masks, fits, layout)
+    }
+
+    /// Assembles a module from precompiled (possibly shared) parts; the
+    /// constructor behind [`ModuloMaskCache::module`].
+    pub(crate) fn from_parts(
+        usages: Arc<CompiledUsages>,
+        masks: Arc<ModuloMasks>,
+        fits: Arc<[bool]>,
+        layout: WordLayout,
+    ) -> Self {
+        let ii = masks.ii();
         let nwords = (ii as usize).div_ceil(layout.k as usize);
-        let nops = usages.usages.len();
-        let fits = compute_fits(&usages, ii);
         ModuloBitvecModule {
             usages,
             layout,
             ii,
             words: vec![0; nwords],
-            masks: vec![vec![None; ii as usize]; nops],
+            masks,
             fits,
             owner: None,
             registry: Registry::new(),
@@ -266,26 +274,6 @@ impl ModuloBitvecModule {
     /// [`ModuloDiscreteModule::fits`]).
     pub fn fits(&self, op: OpId) -> bool {
         self.fits[op.index()]
-    }
-
-    fn mask_for(&mut self, op: OpId, slot: u32) -> &[(u32, u64)] {
-        let entry = &mut self.masks[op.index()][slot as usize];
-        if entry.is_none() {
-            let k = self.layout.k;
-            let nr = self.usages.num_resources as u32;
-            let mut words: Vec<(u32, u64)> = Vec::new();
-            for &(r, c) in self.usages.of(op) {
-                let s = ((slot as u64 + c as u64) % self.ii as u64) as u32;
-                let w = s / k;
-                let bit = (s % k) * nr + r;
-                match words.binary_search_by_key(&w, |&(wo, _)| wo) {
-                    Ok(i) => words[i].1 |= 1u64 << bit,
-                    Err(i) => words.insert(i, (w, 1u64 << bit)),
-                }
-            }
-            *entry = Some(words);
-        }
-        entry.as_ref().expect("just filled").as_slice()
     }
 
     fn transition_to_update(&mut self) {
@@ -321,12 +309,8 @@ impl ContentionQuery for ModuloBitvecModule {
             return false;
         }
         let slot = cycle % self.ii;
-        let n = self.mask_for(op, slot).len();
-        for i in 0..n {
+        for &(w, m) in self.masks.of(op, slot) {
             self.counters.check.units += 1;
-            let (w, m) = self.masks[op.index()][slot as usize]
-                .as_ref()
-                .expect("compiled")[i];
             if self.words[w as usize] & m != 0 {
                 return false;
             }
@@ -337,12 +321,8 @@ impl ContentionQuery for ModuloBitvecModule {
     fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
         self.counters.assign.calls += 1;
         let slot = cycle % self.ii;
-        let n = self.mask_for(op, slot).len();
-        for i in 0..n {
+        for &(w, m) in self.masks.of(op, slot) {
             self.counters.assign.units += 1;
-            let (w, m) = self.masks[op.index()][slot as usize]
-                .as_ref()
-                .expect("compiled")[i];
             debug_assert_eq!(self.words[w as usize] & m, 0, "assign over a reservation");
             self.words[w as usize] |= m;
         }
@@ -361,23 +341,18 @@ impl ContentionQuery for ModuloBitvecModule {
         let slot = cycle % self.ii;
 
         if self.owner.is_none() {
-            let n = self.mask_for(op, slot).len();
             let mut conflict = false;
-            for i in 0..n {
+            for &(w, m) in self.masks.of(op, slot) {
                 self.counters.assign_free.units += 1;
-                let (w, m) = self.masks[op.index()][slot as usize]
-                    .as_ref()
-                    .expect("compiled")[i];
                 if self.words[w as usize] & m != 0 {
                     conflict = true;
                     break;
                 }
             }
             if !conflict {
-                for i in 0..n {
-                    let (w, m) = self.masks[op.index()][slot as usize]
-                        .as_ref()
-                        .expect("compiled")[i];
+                // A second pass ORs the words in; the paper's unit is
+                // "handling a word", already counted above.
+                for &(w, m) in self.masks.of(op, slot) {
                     self.words[w as usize] |= m;
                 }
                 self.registry.insert(inst, op, cycle);
@@ -424,12 +399,8 @@ impl ContentionQuery for ModuloBitvecModule {
         let removed = self.registry.remove(inst);
         debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
         let slot = cycle % self.ii;
-        let n = self.mask_for(op, slot).len();
-        for i in 0..n {
+        for &(w, m) in self.masks.of(op, slot) {
             self.counters.free.units += 1;
-            let (w, m) = self.masks[op.index()][slot as usize]
-                .as_ref()
-                .expect("compiled")[i];
             debug_assert_eq!(self.words[w as usize] & m, m, "free of unreserved bits");
             self.words[w as usize] &= !m;
         }
@@ -455,6 +426,124 @@ impl ContentionQuery for ModuloBitvecModule {
 
     fn num_scheduled(&self) -> usize {
         self.registry.len()
+    }
+}
+
+/// A per-machine cache of modulo mask expansions, keyed by initiation
+/// interval.
+///
+/// The iterative modulo scheduler constructs a fresh reservation table
+/// for every II it attempts, and a suite run schedules many loops on
+/// the same machine — so the same (op, slot) mask lists are expanded
+/// over and over. This cache compiles the machine's usage lists once
+/// and memoizes the per-II expansion behind `Arc`s: after the first
+/// [`module`](Self::module) call for a given II, constructing another
+/// table for that II is two reference-count bumps plus a zeroed word
+/// vector.
+///
+/// Each worker thread of a parallel suite run owns one cache; sharing
+/// is by `clone` of the compiled parts, never by locking.
+///
+/// # Example
+///
+/// ```
+/// use rmd_machine::models::example_machine;
+/// use rmd_query::{ContentionQuery, ModuloMaskCache, WordLayout};
+///
+/// let m = example_machine();
+/// let b = m.op_by_name("B").unwrap();
+/// let mut cache = ModuloMaskCache::new(&m, WordLayout::with_k(64, 4));
+/// let mut q = cache.module(8);
+/// assert!(q.check(b, 0));
+/// let mut q2 = cache.module(8); // served from cache
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// assert!(q2.check(b, 0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModuloMaskCache {
+    usages: Arc<CompiledUsages>,
+    layout: WordLayout,
+    by_ii: HashMap<u32, (Arc<ModuloMasks>, Arc<[bool]>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ModuloMaskCache {
+    /// Creates an empty cache for `machine` under `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word cannot hold `layout.k` cycle-bitvectors of this
+    /// machine.
+    pub fn new(machine: &MachineDescription, layout: WordLayout) -> Self {
+        let usages = Arc::new(CompiledUsages::new(machine));
+        let nr = usages.num_resources as u32;
+        assert!(
+            layout.k >= 1 && layout.k * nr <= 64,
+            "k={} cycles of {nr} resources exceed a 64-bit word",
+            layout.k
+        );
+        ModuloMaskCache {
+            usages,
+            layout,
+            by_ii: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// An empty modulo reservation table for `ii`, reusing (or building
+    /// and memoizing) the mask expansion for that interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn module(&mut self, ii: u32) -> ModuloBitvecModule {
+        assert!(ii > 0, "initiation interval must be positive");
+        let (masks, fits) = match self.by_ii.entry(ii) {
+            Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            Entry::Vacant(e) => {
+                self.misses += 1;
+                let masks = Arc::new(ModuloMasks::new(&self.usages, ii, self.layout.k));
+                let fits: Arc<[bool]> = compute_fits(&self.usages, ii).into();
+                e.insert((masks, fits))
+            }
+        };
+        ModuloBitvecModule::from_parts(
+            Arc::clone(&self.usages),
+            Arc::clone(masks),
+            Arc::clone(fits),
+            self.layout,
+        )
+    }
+
+    /// The word layout modules from this cache use.
+    pub fn layout(&self) -> WordLayout {
+        self.layout
+    }
+
+    /// `module` calls served from an already-expanded II.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// `module` calls that had to expand a new II.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct initiation intervals cached.
+    pub fn num_cached(&self) -> usize {
+        self.by_ii.len()
+    }
+
+    /// Total `(word, mask)` entries across all cached expansions — the
+    /// cache's memory footprint in units of one packed word operation.
+    pub fn mask_entries(&self) -> usize {
+        self.by_ii.values().map(|(m, _)| m.num_entries()).sum()
     }
 }
 
@@ -545,6 +634,45 @@ mod tests {
         q.free(OpInstance(1), b, 1);
         assert_eq!(q.num_scheduled(), 0);
         assert!(q.check(b, 0));
+    }
+
+    #[test]
+    fn cached_modules_behave_like_fresh_ones() {
+        let (m, a, b) = ops();
+        let mut cache = ModuloMaskCache::new(&m, WordLayout::with_k(64, 2));
+        for ii in [4u32, 5, 8, 5, 4] {
+            let mut fresh = ModuloBitvecModule::new(&m, ii, WordLayout::with_k(64, 2));
+            let mut cached = cache.module(ii);
+            let placeable = fresh.check(b, 2);
+            assert_eq!(placeable, cached.check(b, 2), "ii={ii} gate");
+            if placeable {
+                fresh.assign(OpInstance(0), b, 2);
+                cached.assign(OpInstance(0), b, 2);
+            }
+            for t in 0..(2 * ii) {
+                assert_eq!(fresh.check(a, t), cached.check(a, t), "ii={ii} a@{t}");
+                assert_eq!(fresh.check(b, t), cached.check(b, t), "ii={ii} b@{t}");
+            }
+            assert_eq!(fresh.counters(), cached.counters(), "ii={ii}");
+        }
+        // Five requests over three distinct IIs: 3 misses, 2 hits.
+        assert_eq!((cache.hits(), cache.misses()), (2, 3));
+        assert_eq!(cache.num_cached(), 3);
+        assert!(cache.mask_entries() > 0);
+    }
+
+    #[test]
+    fn cache_modules_are_independent() {
+        let (m, _, b) = ops();
+        let mut cache = ModuloMaskCache::new(&m, WordLayout::with_k(64, 4));
+        let mut q1 = cache.module(8);
+        let mut q2 = cache.module(8);
+        q1.assign(OpInstance(0), b, 0);
+        // q2 shares masks with q1 but not reservation state.
+        assert!(!q1.check(b, 1));
+        assert!(q2.check(b, 1));
+        q2.reset();
+        assert!(q2.check(b, 0));
     }
 
     #[test]

@@ -7,8 +7,8 @@ use core::fmt;
 use rmd_machine::alternatives::AltGroups;
 use rmd_machine::{MachineDescription, OpId};
 use rmd_query::{
-    ContentionQuery, ModuloBitvecModule, ModuloDiscreteModule, OpInstance, WordLayout,
-    WorkCounters,
+    ContentionQuery, ModuloBitvecModule, ModuloDiscreteModule, ModuloMaskCache, OpInstance,
+    WordLayout, WorkCounters,
 };
 use std::collections::BinaryHeap;
 
@@ -151,7 +151,48 @@ impl IterativeModuloScheduler {
         repr: Representation,
         mii: u32,
     ) -> Result<ImsResult, ImsError> {
-        self.schedule_inner(g, machine, repr, mii, None)
+        self.schedule_inner(g, machine, repr, mii, None, None)
+    }
+
+    /// Like [`schedule_with_mii`](Self::schedule_with_mii), drawing
+    /// bitvector reservation tables from `cache` instead of recompiling
+    /// the per-(op, slot) word masks for every II attempted. A suite run
+    /// schedules many loops against one machine, and IIs repeat heavily
+    /// across loops, so the cache turns per-attempt mask expansion into
+    /// a lookup. Schedules, statistics, and work counters are identical
+    /// to the uncached path — the cache only changes *when* masks are
+    /// built, never what they contain (mask expansion was never charged
+    /// to [`WorkCounters`]).
+    ///
+    /// The cache must have been created for the same machine this call
+    /// schedules against; with [`Representation::Discrete`] it is
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImsError::NoFeasibleIi`] as for
+    /// [`schedule`](Self::schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repr` is a bitvector layout different from the
+    /// cache's.
+    pub fn schedule_with_mii_cached(
+        &self,
+        g: &DepGraph,
+        machine: &MachineDescription,
+        repr: Representation,
+        mii: u32,
+        cache: &mut ModuloMaskCache,
+    ) -> Result<ImsResult, ImsError> {
+        if let Representation::Bitvec(layout) = repr {
+            assert_eq!(
+                layout,
+                cache.layout(),
+                "mask cache was built for a different word layout"
+            );
+        }
+        self.schedule_inner(g, machine, repr, mii, None, Some(cache))
     }
 
     /// Like [`schedule_with_mii`](Self::schedule_with_mii), additionally
@@ -174,7 +215,7 @@ impl IterativeModuloScheduler {
         repr: Representation,
         mii: u32,
     ) -> Result<ImsResult, ImsError> {
-        self.schedule_inner(g, machine, repr, mii, Some(groups))
+        self.schedule_inner(g, machine, repr, mii, Some(groups), None)
     }
 
     fn schedule_inner(
@@ -184,6 +225,7 @@ impl IterativeModuloScheduler {
         repr: Representation,
         mii: u32,
         groups: Option<&AltGroups>,
+        mut cache: Option<&mut ModuloMaskCache>,
     ) -> Result<ImsResult, ImsError> {
         let n = g.num_nodes();
         let budget_total = ((self.config.budget_ratio * n as f64).ceil() as u64).max(1);
@@ -203,9 +245,10 @@ impl IterativeModuloScheduler {
             attempts += 1;
             let mut module: Box<dyn ContentionQuery> = match repr {
                 Representation::Discrete => Box::new(ModuloDiscreteModule::new(machine, ii)),
-                Representation::Bitvec(layout) => {
-                    Box::new(ModuloBitvecModule::new(machine, ii, layout))
-                }
+                Representation::Bitvec(layout) => match cache.as_deref_mut() {
+                    Some(c) => Box::new(c.module(ii)),
+                    None => Box::new(ModuloBitvecModule::new(machine, ii, layout)),
+                },
             };
             let outcome = self.attempt(g, ii, budget_total, module.as_mut(), groups);
             counters.merge(module.counters());
@@ -481,6 +524,49 @@ mod tests {
         assert_eq!(a.times, b.times);
         assert_eq!(a.ii, b.ii);
         assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn cached_path_matches_uncached_exactly() {
+        let m = cydra5_subset();
+        let layout = WordLayout::widest(64, m.num_resources());
+        let mut cache = ModuloMaskCache::new(&m, layout);
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        for names in [
+            &["load.w.0", "fadd", "store.w.0"][..],
+            &["load.w.0", "load.w.1", "fmul", "fadd", "store.w.1"][..],
+            &["load.w.0", "fadd", "store.w.0"][..], // repeat: cache hit
+        ] {
+            let g = chain(&m, names, 5);
+            let mii = crate::mii::mii(&g, &m);
+            let repr = Representation::Bitvec(layout);
+            let plain = ims.schedule_with_mii(&g, &m, repr, mii).expect("test setup");
+            let cached = ims
+                .schedule_with_mii_cached(&g, &m, repr, mii, &mut cache)
+                .expect("test setup");
+            assert_eq!(plain.times, cached.times);
+            assert_eq!(plain.chosen, cached.chosen);
+            assert_eq!(plain.ii, cached.ii);
+            assert_eq!(plain.decisions, cached.decisions);
+            assert_eq!(plain.counters, cached.counters);
+        }
+        assert!(cache.hits() > 0, "repeated IIs must hit the cache");
+    }
+
+    #[test]
+    #[should_panic(expected = "different word layout")]
+    fn cached_path_rejects_layout_mismatch() {
+        let m = cydra5_subset();
+        let mut cache = ModuloMaskCache::new(&m, WordLayout::with_k(64, 1));
+        let g = chain(&m, &["load.w.0", "fadd"], 5);
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        let _ = ims.schedule_with_mii_cached(
+            &g,
+            &m,
+            Representation::Bitvec(WordLayout::with_k(64, 2)),
+            1,
+            &mut cache,
+        );
     }
 
     #[test]
