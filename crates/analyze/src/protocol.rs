@@ -26,10 +26,13 @@ pub fn violation_id(v: &ProtocolViolation) -> &'static str {
 /// Statically checks a recorded trace against the query protocol over
 /// `machine`, honoring the trace's initiation interval for modulo
 /// semantics. Every violation is an error-severity finding naming the
-/// offending event.
+/// offending event; with [`rmd_obs`] tracing enabled, each also fires an
+/// instant event (`cat = "analyze"`, name = the `RMD-P00x` id, arg =
+/// the offending event index) so violations show up inline in profiles.
 pub fn check_trace(trace: &QueryTrace, machine: &MachineDescription) -> Report {
     let mut report = Report::new(format!("trace over `{}`", trace.machine));
     for (i, v) in trace.check_protocol(machine) {
+        rmd_obs::instant_with("analyze", violation_id(&v), "event", i as u64);
         report.diagnostics.push(Diagnostic {
             id: violation_id(&v),
             severity: Severity::Error,
@@ -72,6 +75,28 @@ mod tests {
         let r = check_trace(&t, &m);
         assert!(r.diagnostics.is_empty(), "{r:?}");
         assert!(r.render_text().contains("clean"));
+    }
+
+    #[test]
+    fn violations_fire_obs_instants() {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        let m = example_machine();
+        let a = m.op_by_name("A").unwrap();
+        let mut t = QueryTrace::new(m.name());
+        t.push(QueryEvent::Assign { inst: OpInstance(0), op: a, cycle: 0 });
+        t.push(QueryEvent::Assign { inst: OpInstance(0), op: a, cycle: 9 });
+        rmd_obs::set_enabled(true);
+        let _ = rmd_obs::drain_events();
+        let r = check_trace(&t, &m);
+        let events = rmd_obs::drain_events();
+        rmd_obs::set_enabled(false);
+        assert_eq!(r.errors(), 1);
+        let hit = events
+            .iter()
+            .find(|e| e.cat == "analyze" && e.name == "RMD-P001")
+            .expect("violation instant present");
+        assert_eq!(hit.arg, Some(("event", 1)));
     }
 
     #[test]

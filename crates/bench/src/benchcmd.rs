@@ -5,8 +5,10 @@
 //! machine-readable `BENCH_<name>.json` record — the perf trajectory
 //! every later optimization PR is judged against.
 //!
-//! Record schema (`"schema": "rmd-bench/1"`): see the field docs on
+//! Record schema (`"schema": "rmd-bench/2"`): see the field docs on
 //! [`BenchRecord`] and the schema note in the repository README.
+//! Schema 2 adds the `phases` section — per-phase wall-clock of one
+//! traced reduction run (see [`crate::profile::PhaseTiming`]).
 //! Timings are wall-clock milliseconds measured on whatever host ran
 //! the bench; the derived throughput numbers (`queries_per_sec`,
 //! `speedup`) are for trend-watching, not cross-host comparison.
@@ -24,7 +26,7 @@ use std::time::Instant;
 
 /// Schema tag stamped into every record; bump on breaking layout
 /// changes.
-pub const SCHEMA: &str = "rmd-bench/1";
+pub const SCHEMA: &str = "rmd-bench/2";
 
 /// Loop count of the full suite (the paper's §8 corpus).
 pub const FULL_LOOPS: usize = 1327;
@@ -72,6 +74,9 @@ pub struct BenchRecord {
     pub unix_time_secs: u64,
     /// Reduction-sweep workload.
     pub reduction: ReductionBench,
+    /// Per-phase wall-clock of one traced `reduce_with_fallback` run
+    /// (schema rmd-bench/2 addition; canonical phase order).
+    pub phases: Vec<crate::profile::PhaseTiming>,
     /// Contention-query workload.
     pub query: QueryBench,
     /// Loop-suite scheduling workload; `null` for machines outside the
@@ -246,6 +251,22 @@ fn scheduler_bench(m: &MachineDescription, opts: &BenchOptions) -> SchedulerBenc
     }
 }
 
+/// One traced `reduce_with_fallback` run, folded into per-phase
+/// wall-clock aggregates (the schema-2 `phases` section). Runs before
+/// the timed workloads so the brief tracing window cannot skew them.
+fn phases_bench(m: &MachineDescription) -> Vec<crate::profile::PhaseTiming> {
+    rmd_obs::set_enabled(true);
+    let _ = rmd_obs::drain_events();
+    let _ = rmd_core::reduce_with_fallback(
+        m,
+        rmd_core::Objective::ResUses,
+        &rmd_core::ReduceOptions::default(),
+    );
+    let events = rmd_obs::drain_events();
+    rmd_obs::set_enabled(false);
+    crate::profile::aggregate_phases(&events)
+}
+
 /// Runs all applicable workloads against `machine`.
 pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> BenchRecord {
     let (red_rounds, query_rounds) = if opts.quick { (1, 8) } else { (3, 64) };
@@ -259,6 +280,7 @@ pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> Bench
             .map(|d| d.as_secs())
             .unwrap_or(0),
         reduction: reduction_bench(machine, red_rounds),
+        phases: phases_bench(machine),
         query: query_bench(machine, query_rounds),
         scheduler: suite_supported(machine).then(|| scheduler_bench(machine, opts)),
     }
@@ -496,6 +518,8 @@ mod tests {
         let rec = bench_machine(&example_machine(), &opts);
         assert_eq!(rec.schema, SCHEMA);
         assert!(rec.scheduler.is_none());
+        assert_eq!(rec.phases.len(), rmd_core::REDUCTION_PHASES.len());
+        assert!(rec.phases.iter().all(|t| t.spans >= 1), "{:?}", rec.phases);
         assert!(rec.query.queries > 0);
         assert!(rec.query.queries_per_sec > 0.0);
         assert!(rec.reduction.reductions > 0);
@@ -516,7 +540,8 @@ mod tests {
         assert!(path.ends_with("BENCH_benchcmd-unit.json"));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(json_is_well_formed(&body));
-        assert!(body.contains("\"schema\": \"rmd-bench/1\""));
+        assert!(body.contains("\"schema\": \"rmd-bench/2\""));
+        assert!(body.contains("\"phases\""));
         let _ = std::fs::remove_file(&path);
     }
 }

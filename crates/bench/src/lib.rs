@@ -13,6 +13,7 @@ use std::path::Path;
 
 pub mod benchcmd;
 pub mod parallel;
+pub mod profile;
 
 /// One column of a paper Table 1–4 style report.
 #[derive(Clone, Debug, Serialize)]

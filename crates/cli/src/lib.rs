@@ -10,6 +10,7 @@
 //! rmd render <machine>                  # ASCII reservation tables
 //! rmd lint   <machine> [options]        # description lints
 //! rmd bench  [<machine>...] [options]   # perf workloads -> BENCH_*.json
+//! rmd profile <machine> [options]       # traced run -> phase/latency report
 //! rmd models                            # list built-in models
 //! ```
 //!
@@ -39,6 +40,7 @@ use std::fmt::Write as _;
 /// | `Validation`     | 4         | machine rejected by structural validation |
 /// | `Verification`   | 5         | equivalence check failed                  |
 /// | `Lint`           | 6         | lint findings at error severity           |
+/// | `Export`         | 7         | profile/trace export could not be written |
 /// | `Internal`       | 1         | unexpected pipeline failure               |
 #[derive(Clone, PartialEq, Debug)]
 #[non_exhaustive]
@@ -71,6 +73,14 @@ pub enum CliError {
         /// Number of error-severity findings.
         errors: usize,
     },
+    /// A profile or trace export could not be written (from
+    /// `rmd profile --out`, or a `--table6` record).
+    Export {
+        /// The destination that failed.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
     /// An unexpected internal failure.
     Internal(String),
 }
@@ -85,6 +95,7 @@ impl CliError {
             CliError::Validation(_) => 4,
             CliError::Verification { .. } => 5,
             CliError::Lint { .. } => 6,
+            CliError::Export { .. } => 7,
             CliError::Internal(_) => 1,
         }
     }
@@ -99,6 +110,9 @@ impl std::fmt::Display for CliError {
             CliError::Verification { message } => write!(f, "{message}"),
             CliError::Lint { errors, .. } => {
                 write!(f, "lint: {errors} error-severity finding(s)")
+            }
+            CliError::Export { path, message } => {
+                write!(f, "cannot write `{path}`: {message}")
             }
             CliError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -180,10 +194,39 @@ pub enum Command {
         /// current directory (the repo root, by convention).
         out: Option<String>,
     },
+    /// `rmd profile <machine> [--loops N] [--format text|jsonl|chrome]
+    /// [--out FILE] [--table6]`
+    Profile {
+        /// Model name or `.mdl` path.
+        machine: String,
+        /// Loops to schedule; `None` picks the profile default (the
+        /// scheduler section is skipped for non-suite machines either
+        /// way).
+        loops: Option<usize>,
+        /// Output format for the event stream.
+        format: ProfileFormat,
+        /// Write the formatted output to this file instead of stdout.
+        out: Option<String>,
+        /// Also render the per-function work-unit table and record it
+        /// under `results/`.
+        table6: bool,
+    },
     /// `rmd models`
     Models,
     /// `rmd help` or no args.
     Help,
+}
+
+/// Output format of `rmd profile`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProfileFormat {
+    /// Human-readable report (default).
+    #[default]
+    Text,
+    /// One JSON event per line.
+    Jsonl,
+    /// Chrome trace-event JSON (Perfetto / `chrome://tracing`).
+    Chrome,
 }
 
 /// Objective selection on the command line.
@@ -308,6 +351,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 quick,
                 threads,
                 out,
+            })
+        }
+        "profile" => {
+            let machine = required(&mut it, "profile", "<machine>")?;
+            let mut loops = None;
+            let mut format = ProfileFormat::Text;
+            let mut out = None;
+            let mut table6 = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--loops" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--loops expects a number".to_owned())
+                        })?;
+                        loops = Some(v.parse().map_err(|_| {
+                            CliError::Usage(format!("--loops expects a number, got `{v}`"))
+                        })?);
+                    }
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => format = ProfileFormat::Text,
+                        Some("jsonl") => format = ProfileFormat::Jsonl,
+                        Some("chrome") => format = ProfileFormat::Chrome,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "--format expects `text`, `jsonl`, or `chrome`, got {other:?}"
+                            )))
+                        }
+                    },
+                    "--out" => {
+                        out = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--out expects a file path".to_owned())
+                        })?);
+                    }
+                    "--table6" => table6 = true,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown option `{other}`")))
+                    }
+                }
+            }
+            Ok(Command::Profile {
+                machine,
+                loops,
+                format,
+                out,
+                table6,
             })
         }
         "models" => Ok(Command::Models),
@@ -589,6 +677,64 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 let _ = writeln!(out, "  [recorded {}]", path.display());
             }
         }
+        Command::Profile {
+            machine,
+            loops,
+            format,
+            out: out_file,
+            table6,
+        } => {
+            use rmd_bench::profile;
+            let m = load_machine(machine)?;
+            let opts = profile::ProfileOptions {
+                loops: loops.unwrap_or(profile::DEFAULT_PROFILE_LOOPS),
+                ..profile::ProfileOptions::default()
+            };
+            let p = profile::profile_machine(&m, &opts);
+            let rendered = match format {
+                ProfileFormat::Text => profile::render_profile(&p),
+                ProfileFormat::Jsonl => rmd_obs::export::events_to_jsonl(&p.events),
+                ProfileFormat::Chrome => {
+                    let mut s = rmd_obs::export::events_to_chrome_trace(&p.events);
+                    s.push('\n');
+                    s
+                }
+            };
+            match out_file {
+                Some(path) => {
+                    std::fs::write(path, &rendered).map_err(|e| CliError::Export {
+                        path: path.clone(),
+                        message: e.to_string(),
+                    })?;
+                    let _ = writeln!(out, "[wrote {path}]");
+                }
+                None => out.push_str(&rendered),
+            }
+            if *table6 {
+                if *format != ProfileFormat::Text || out_file.is_some() {
+                    // The full text report embeds the table already when
+                    // it goes to stdout; otherwise render it here.
+                    out.push_str(&profile::render_work_table(&p));
+                }
+                let mut rec = profile::profile_record(&p);
+                // Key the record by the requested spec, like `bench`.
+                rec.machine = if MODEL_NAMES.contains(&machine.as_str()) {
+                    machine.clone()
+                } else {
+                    std::path::Path::new(machine)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| machine.clone())
+                };
+                let dir = std::path::Path::new("results");
+                let path =
+                    profile::write_profile_record(&rec, dir).map_err(|e| CliError::Export {
+                        path: dir.join(format!("PROFILE_{}.json", rec.machine)).display().to_string(),
+                        message: e.to_string(),
+                    })?;
+                let _ = writeln!(out, "[recorded {}]", path.display());
+            }
+        }
         Command::Verify { left, right } => {
             let a = load_machine(left)?;
             let b = load_machine(right)?;
@@ -663,6 +809,7 @@ USAGE:
     rmd table  <machine>                     paper-style reduction report
     rmd lint   <machine> [options]           lint the description
     rmd bench  [<machine>...] [options]      perf workloads -> BENCH_*.json
+    rmd profile <machine> [options]          traced run -> phase/latency report
     rmd models                               list built-in models
 
 OPTIONS (reduce):
@@ -679,9 +826,22 @@ OPTIONS (bench):
     --threads <N>                            worker threads [host cores, min 4]
     --out <DIR>                              output directory [.]
 
+OPTIONS (profile):
+    --loops <N>                              suite loops to schedule [64]
+    --format text|jsonl|chrome               report format [text]
+    --out <FILE>                             write the report to FILE
+    --table6                                 append the per-function work
+                                             table and record it under
+                                             results/PROFILE_<name>.json
+
 Bench with no machines runs the default pair (fig1, cydra5-subset) and
 writes one BENCH_<name>.json record per machine into the output
 directory.
+
+Profile runs the reduction pipeline, all five query backends, and the
+loop-suite scheduler under rmd-obs tracing; `jsonl` dumps the raw event
+stream and `chrome` a trace loadable in chrome://tracing. Export
+failures (--out / --table6) exit with code 7.
 
 Lint exits 0 when no error-severity findings remain and 6 otherwise;
 the report is always printed on stdout.
@@ -1037,8 +1197,143 @@ mod bench_tests {
         let path = dir.join("BENCH_fig1.json");
         let body = std::fs::read_to_string(&path).expect("record written");
         assert!(rmd_bench::benchcmd::json_is_well_formed(&body), "{body}");
-        assert!(body.contains("\"schema\": \"rmd-bench/1\""), "{body}");
+        assert!(body.contains("\"schema\": \"rmd-bench/2\""), "{body}");
         assert!(body.contains("\"machine\": \"fig1\""), "{body}");
+        assert!(body.contains("\"phases\""), "{body}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// One row of the profile parse table: argv, then the expected
+    /// loops / format / out / table6 fields of [`Command::Profile`].
+    type ProfileRow<'a> = (&'a [&'a str], Option<usize>, ProfileFormat, Option<&'a str>, bool);
+
+    #[test]
+    fn parses_profile_command_lines() {
+        let rows: &[ProfileRow] = &[
+            (&["profile", "fig1"], None, ProfileFormat::Text, None, false),
+            (
+                &["profile", "mips", "--loops", "8"],
+                Some(8),
+                ProfileFormat::Text,
+                None,
+                false,
+            ),
+            (
+                &["profile", "fig1", "--format", "jsonl"],
+                None,
+                ProfileFormat::Jsonl,
+                None,
+                false,
+            ),
+            (
+                &["profile", "fig1", "--format", "chrome", "--out", "t.json"],
+                None,
+                ProfileFormat::Chrome,
+                Some("t.json"),
+                false,
+            ),
+            (
+                &["profile", "cydra5-subset", "--table6"],
+                None,
+                ProfileFormat::Text,
+                None,
+                true,
+            ),
+        ];
+        for (argv, loops, format, out, table6) in rows {
+            let c = parse_args(&args(argv)).expect("valid profile command line");
+            assert_eq!(
+                c,
+                Command::Profile {
+                    machine: argv[1].to_string(),
+                    loops: *loops,
+                    format: *format,
+                    out: out.map(str::to_owned),
+                    table6: *table6,
+                },
+                "argv: {argv:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_profile_usage_with_exit_code_2() {
+        for argv in [
+            &["profile"][..],
+            &["profile", "fig1", "extra"][..],
+            &["profile", "fig1", "--loops"][..],
+            &["profile", "fig1", "--loops", "many"][..],
+            &["profile", "fig1", "--format", "xml"][..],
+            &["profile", "fig1", "--out"][..],
+            &["profile", "fig1", "--bogus"][..],
+        ] {
+            let e = parse_args(&args(argv)).expect_err("should be a usage error");
+            assert_eq!(e.exit_code(), 2, "argv: {argv:?}");
+        }
+    }
+
+    #[test]
+    fn profile_text_report_covers_phases_and_backends() {
+        let out = run(&Command::Profile {
+            machine: "fig1".into(),
+            loops: Some(2),
+            format: ProfileFormat::Text,
+            out: None,
+            table6: false,
+        })
+        .expect("profile fig1");
+        for phase in rmd_core::REDUCTION_PHASES {
+            assert!(out.contains(phase), "missing phase {phase}: {out}");
+        }
+        assert!(out.contains("query.modulo_bitvec"), "{out}");
+        assert!(out.contains("Table 6"), "{out}");
+    }
+
+    #[test]
+    fn profile_jsonl_export_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("rmd-profile-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("fig1.jsonl");
+        let out = run(&Command::Profile {
+            machine: "fig1".into(),
+            loops: Some(0),
+            format: ProfileFormat::Jsonl,
+            out: Some(path.to_string_lossy().into_owned()),
+            table6: false,
+        })
+        .expect("profile fig1 --format jsonl --out");
+        assert!(out.contains("[wrote "), "{out}");
+        let body = std::fs::read_to_string(&path).expect("export written");
+        assert!(!body.is_empty());
+        for line in body.lines() {
+            assert!(
+                rmd_bench::benchcmd::json_is_well_formed(line),
+                "bad JSONL line: {line}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_export_path_exits_with_code_7() {
+        let e = run(&Command::Profile {
+            machine: "fig1".into(),
+            loops: Some(0),
+            format: ProfileFormat::Jsonl,
+            out: Some("/nonexistent-dir/trace.jsonl".into()),
+            table6: false,
+        })
+        .expect_err("export must fail");
+        assert_eq!(e.exit_code(), 7);
+        assert!(e.to_string().contains("/nonexistent-dir/trace.jsonl"), "{e}");
     }
 }

@@ -82,24 +82,32 @@ pub fn reduce_with_fallback(
     let red = match try_reduce(machine, objective, options) {
         Ok(red) => red,
         Err(e) => {
+            rmd_obs::instant("reduce", "fallback");
             return FallbackReduction {
                 machine: machine.clone(),
                 reduction: None,
                 fallback: Some(FallbackEvent::ReductionFailed(e)),
-            }
+            };
         }
     };
-    match verify_equivalence(machine, &red.reduced) {
+    let verified = {
+        let _s = rmd_obs::span("reduce", "verify");
+        verify_equivalence(machine, &red.reduced)
+    };
+    match verified {
         Ok(()) => FallbackReduction {
             machine: red.reduced.clone(),
             reduction: Some(red),
             fallback: None,
         },
-        Err(e) => FallbackReduction {
-            machine: machine.clone(),
-            reduction: None,
-            fallback: Some(FallbackEvent::VerificationFailed(e.into())),
-        },
+        Err(e) => {
+            rmd_obs::instant("reduce", "fallback");
+            FallbackReduction {
+                machine: machine.clone(),
+                reduction: None,
+                fallback: Some(FallbackEvent::VerificationFailed(e.into())),
+            }
+        }
     }
 }
 
@@ -156,6 +164,56 @@ mod tests {
             RmdError::LimitExceeded { what, .. } => assert_eq!(*what, "operations"),
             other => panic!("expected LimitExceeded, got {other:?}"),
         }
+    }
+
+    /// Serializes tests that toggle the global tracing flag.
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        rmd_obs::set_enabled(true);
+        let _ = rmd_obs::drain_events(); // discard anything older
+        let r = f();
+        rmd_obs::set_enabled(false);
+        r
+    }
+
+    #[test]
+    fn tracing_emits_every_reduction_phase() {
+        let (out, events) = with_tracing(|| {
+            let out = reduce_with_fallback(
+                &example_machine(),
+                Objective::ResUses,
+                &ReduceOptions::default(),
+            );
+            (out, rmd_obs::drain_events())
+        });
+        assert!(!out.used_fallback());
+        for phase in crate::REDUCTION_PHASES {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.cat == "reduce" && e.name == *phase),
+                "missing phase span: {phase}"
+            );
+        }
+        // No fallback happened, so no fallback instant was emitted.
+        assert!(!events.iter().any(|e| e.name == "fallback"));
+    }
+
+    #[test]
+    fn fallback_emits_an_instant_event() {
+        let (out, events) = with_tracing(|| {
+            let options = ReduceOptions {
+                max_steps: Some(1),
+                ..ReduceOptions::default()
+            };
+            let out = reduce_with_fallback(&example_machine(), Objective::ResUses, &options);
+            (out, rmd_obs::drain_events())
+        });
+        assert!(out.used_fallback());
+        assert!(events
+            .iter()
+            .any(|e| e.cat == "reduce" && e.name == "fallback"));
     }
 
     #[test]

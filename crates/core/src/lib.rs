@@ -55,7 +55,7 @@ pub use genset::{
     generating_set, generating_set_budgeted, generating_set_traced, GenSetEvent, GenSetTrace,
 };
 pub use prune::{dominated_by, prune_dominated};
-pub use reduce::{reduce, try_reduce, ReduceOptions, Reduction};
+pub use reduce::{reduce, try_reduce, ReduceOptions, Reduction, REDUCTION_PHASES};
 pub use select::{select, Objective, Selection};
 pub use stats::{avg_word_usages, word_usages_of_table, DescriptionStats};
 pub use synth::{SynthResource, SynthUsage};

@@ -7,6 +7,26 @@ use crate::select::{select, Objective, Selection};
 use rmd_latency::{ClassPartition, ForbiddenMatrix};
 use rmd_machine::{MachineBuilder, MachineDescription};
 
+/// The reduction pipeline's phase names, in execution order, exactly as
+/// they appear in the `cat = "reduce"` spans emitted while
+/// [`rmd_obs`] tracing is enabled.
+///
+/// Every phase listed here fires on **every** successful
+/// [`reduce_with_fallback`](crate::reduce_with_fallback) run, so trace
+/// consumers (the `rmd profile` report, the CI smoke check) can require
+/// all of them to be present. The `fallback` *instant* event is not in
+/// this list because it only fires when the pipeline degrades to the
+/// original tables.
+pub const REDUCTION_PHASES: &[&str] = &[
+    "forbidden_matrix",
+    "classes",
+    "genset",
+    "prune",
+    "select",
+    "materialize",
+    "verify",
+];
+
 /// Knobs for [`try_reduce`] and
 /// [`reduce_with_fallback`](crate::reduce_with_fallback).
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -98,15 +118,33 @@ pub fn try_reduce(
     };
 
     // Step 1: classes and the class-level matrix.
-    let f_ops = ForbiddenMatrix::compute(machine);
-    let classes = ClassPartition::compute(machine, &f_ops);
-    let class_machine = classes.class_machine(machine)?;
-    let matrix = ForbiddenMatrix::compute(&class_machine);
+    let f_ops = {
+        let _s = rmd_obs::span("reduce", "forbidden_matrix");
+        ForbiddenMatrix::compute(machine)
+    };
+    let (classes, class_machine, matrix) = {
+        let mut s = rmd_obs::span("reduce", "classes");
+        let classes = ClassPartition::compute(machine, &f_ops);
+        let class_machine = classes.class_machine(machine)?;
+        let matrix = ForbiddenMatrix::compute(&class_machine);
+        s.set_arg("classes", matrix.num_ops() as u64);
+        (classes, class_machine, matrix)
+    };
 
     // Step 2: generating set of maximal resources.
-    let genset = generating_set_budgeted(&matrix, &mut budget)?;
+    let genset = {
+        let mut s = rmd_obs::span("reduce", "genset");
+        let genset = generating_set_budgeted(&matrix, &mut budget)?;
+        s.set_arg("resources", genset.len() as u64);
+        genset
+    };
     let genset_size = genset.len();
-    let pruned = prune_dominated(&genset);
+    let pruned = {
+        let mut s = rmd_obs::span("reduce", "prune");
+        let pruned = prune_dominated(&genset);
+        s.set_arg("kept", pruned.len() as u64);
+        pruned
+    };
     let pruned_size = pruned.len();
 
     // Cover selection touches every (resource, latency) pair; charge it
@@ -114,7 +152,14 @@ pub fn try_reduce(
     budget.charge((pruned.len() as u64).saturating_mul(matrix.num_ops() as u64))?;
 
     // Step 3: cover selection.
-    let selection = select(&matrix, &pruned, objective);
+    let selection = {
+        let mut s = rmd_obs::span("reduce", "select");
+        let selection = select(&matrix, &pruned, objective);
+        s.set_arg("selected", selection.resources.len() as u64);
+        selection
+    };
+
+    let _materialize_span = rmd_obs::span("reduce", "materialize");
 
     // Materialize the reduced class machine.
     let mut b = MachineBuilder::new(format!("{}-reduced", machine.name()));

@@ -1,7 +1,7 @@
 //! The bitvector-representation query module.
 
 use crate::compiled::{CompiledMasks, CompiledUsages};
-use crate::counters::WorkCounters;
+use crate::counters::{QueryFn, WorkCounters};
 use crate::registry::{OpInstance, Registry};
 #[cfg(debug_assertions)]
 use crate::trace::{ProtocolChecker, QueryEvent};
@@ -165,8 +165,8 @@ impl BitvecModule {
                 owner[s] = Some(inst);
             }
         }
-        self.counters.assign_free.units += scanned;
-        self.counters.transitions += 1;
+        self.counters.charge_units(QueryFn::AssignFree, scanned);
+        self.counters.record_transition();
         self.owner = Some(owner);
     }
 
@@ -177,19 +177,15 @@ impl BitvecModule {
         }
     }
 
-    /// OR/ANDN an op's words in or out, counting one unit per word.
-    fn word_apply(
-        &mut self,
-        op: OpId,
-        cycle: u32,
-        set: bool,
-        counter: fn(&mut WorkCounters) -> &mut u64,
-    ) {
+    /// OR/ANDN an op's words in or out, returning one work unit per
+    /// word touched (the caller records them on its own function).
+    fn word_apply(&mut self, op: OpId, cycle: u32, set: bool) -> u64 {
         let k = self.layout.k;
         let (a, base) = (cycle % k, (cycle / k) as usize);
+        let mut units = 0;
         for i in 0..self.masks.of(op, a).len() {
             let (off, m) = self.masks.of(op, a)[i];
-            *counter(&mut self.counters) += 1;
+            units += 1;
             let w = &mut self.words[base + off as usize];
             if set {
                 debug_assert_eq!(*w & m, 0, "assign over a reservation");
@@ -199,30 +195,34 @@ impl BitvecModule {
                 *w &= !m;
             }
         }
+        units
     }
 }
 
 impl ContentionQuery for BitvecModule {
     fn check(&mut self, op: OpId, cycle: u32) -> bool {
-        self.counters.check.calls += 1;
         let k = self.layout.k;
         let (a, base) = (cycle % k, (cycle / k) as usize);
+        let mut units = 0;
+        let mut clear = true;
         for &(off, m) in self.masks.of(op, a) {
-            self.counters.check.units += 1;
+            units += 1;
             let w = self.words.get(base + off as usize).copied().unwrap_or(0);
             if w & m != 0 {
-                return false;
+                clear = false;
+                break;
             }
         }
-        true
+        self.counters.record(QueryFn::Check, units);
+        clear
     }
 
     fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::Assign { inst, op, cycle });
-        self.counters.assign.calls += 1;
         self.ensure_horizon(cycle + self.usages.length[op.index()]);
-        self.word_apply(op, cycle, true, |c| &mut c.assign.units);
+        let units = self.word_apply(op, cycle, true);
+        self.counters.record(QueryFn::Assign, units);
         if self.owner.is_some() {
             for i in 0..self.usages.of(op).len() {
                 let (r, c) = self.usages.of(op)[i];
@@ -235,8 +235,8 @@ impl ContentionQuery for BitvecModule {
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::AssignFree { inst, op, cycle });
-        self.counters.assign_free.calls += 1;
         self.ensure_horizon(cycle + self.usages.length[op.index()]);
+        let mut units = 0;
 
         if self.owner.is_none() {
             // Optimistic mode: try pure word operations.
@@ -245,7 +245,7 @@ impl ContentionQuery for BitvecModule {
             let mut conflict = false;
             for i in 0..self.masks.of(op, a).len() {
                 let (off, m) = self.masks.of(op, a)[i];
-                self.counters.assign_free.units += 1;
+                units += 1;
                 if self.words[base + off as usize] & m != 0 {
                     conflict = true;
                     break;
@@ -258,10 +258,12 @@ impl ContentionQuery for BitvecModule {
                     let (off, m) = self.masks.of(op, a)[i];
                     self.words[base + off as usize] |= m;
                 }
+                self.counters.record(QueryFn::AssignFree, units);
                 self.registry.insert(inst, op, cycle);
                 return Vec::new();
             }
-            // Conflict: rebuild owner fields and stay in update mode.
+            // Conflict: rebuild owner fields and stay in update mode
+            // (the scan is charged to assign&free inside the call).
             self.transition_to_update();
         }
 
@@ -269,7 +271,7 @@ impl ContentionQuery for BitvecModule {
         let mut evicted = Vec::new();
         for i in 0..self.usages.of(op).len() {
             let (r, c) = self.usages.of(op)[i];
-            self.counters.assign_free.units += 1;
+            units += 1;
             let gc = cycle + c;
             let holder = self.owner.as_ref().expect("update mode")[self.slot(r, gc)];
             if let Some(holder) = holder {
@@ -280,7 +282,7 @@ impl ContentionQuery for BitvecModule {
                         .expect("owner entries track registered instances");
                     for j in 0..self.usages.of(hop).len() {
                         let (hr, hc) = self.usages.of(hop)[j];
-                        self.counters.assign_free.units += 1;
+                        units += 1;
                         let hgc = hcycle + hc;
                         self.set_owner(hr, hgc, None);
                         // Clear the flag bit.
@@ -296,6 +298,7 @@ impl ContentionQuery for BitvecModule {
             let bit = (gc % k) * self.usages.num_resources as u32 + r;
             self.words[(gc / k) as usize] |= 1u64 << bit;
         }
+        self.counters.record(QueryFn::AssignFree, units);
         self.registry.insert(inst, op, cycle);
         evicted
     }
@@ -303,10 +306,10 @@ impl ContentionQuery for BitvecModule {
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::Free { inst, op, cycle });
-        self.counters.free.calls += 1;
         let removed = self.registry.remove(inst);
         debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
-        self.word_apply(op, cycle, false, |c| &mut c.free.units);
+        let units = self.word_apply(op, cycle, false);
+        self.counters.record(QueryFn::Free, units);
         if self.owner.is_some() {
             for i in 0..self.usages.of(op).len() {
                 let (r, c) = self.usages.of(op)[i];

@@ -1,7 +1,7 @@
 //! The discrete-representation query module.
 
 use crate::compiled::CompiledUsages;
-use crate::counters::WorkCounters;
+use crate::counters::{QueryFn, WorkCounters};
 use crate::registry::{OpInstance, Registry};
 #[cfg(debug_assertions)]
 use crate::trace::{ProtocolChecker, QueryEvent};
@@ -96,40 +96,43 @@ impl DiscreteModule {
 
 impl ContentionQuery for DiscreteModule {
     fn check(&mut self, op: OpId, cycle: u32) -> bool {
-        self.counters.check.calls += 1;
+        let mut units = 0;
+        let mut clear = true;
         for &(r, c) in self.compiled.of(op) {
-            self.counters.check.units += 1;
+            units += 1;
             let gc = cycle + c;
             if gc < self.horizon && self.owner[self.slot(r, gc)].is_some() {
-                return false; // abort on first contention
+                clear = false; // abort on first contention
+                break;
             }
         }
-        true
+        self.counters.record(QueryFn::Check, units);
+        clear
     }
 
     fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::Assign { inst, op, cycle });
-        self.counters.assign.calls += 1;
         self.ensure_horizon(cycle + self.compiled.length[op.index()]);
         for &(r, c) in self.compiled.of(op) {
-            self.counters.assign.units += 1;
             let s = self.slot(r, cycle + c);
             debug_assert!(self.owner[s].is_none(), "assign over a reservation");
             self.owner[s] = Some(inst);
         }
+        self.counters
+            .record(QueryFn::Assign, self.compiled.of(op).len() as u64);
         self.registry.insert(inst, op, cycle);
     }
 
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::AssignFree { inst, op, cycle });
-        self.counters.assign_free.calls += 1;
         self.ensure_horizon(cycle + self.compiled.length[op.index()]);
+        let mut units = 0;
         let mut evicted = Vec::new();
         for ui in 0..self.compiled.of(op).len() {
             let (r, c) = self.compiled.of(op)[ui];
-            self.counters.assign_free.units += 1;
+            units += 1;
             let s = self.slot(r, cycle + c);
             if let Some(holder) = self.owner[s] {
                 if holder != inst {
@@ -139,7 +142,7 @@ impl ContentionQuery for DiscreteModule {
                         .remove(holder)
                         .expect("owner entries always track registered instances");
                     for &(hr, hc) in self.compiled.of(hop) {
-                        self.counters.assign_free.units += 1;
+                        units += 1;
                         let hs = self.slot(hr, hcycle + hc);
                         self.owner[hs] = None;
                     }
@@ -148,6 +151,7 @@ impl ContentionQuery for DiscreteModule {
             }
             self.owner[s] = Some(inst);
         }
+        self.counters.record(QueryFn::AssignFree, units);
         self.registry.insert(inst, op, cycle);
         evicted
     }
@@ -155,15 +159,15 @@ impl ContentionQuery for DiscreteModule {
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::Free { inst, op, cycle });
-        self.counters.free.calls += 1;
         let removed = self.registry.remove(inst);
         debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
         for &(r, c) in self.compiled.of(op) {
-            self.counters.free.units += 1;
             let s = self.slot(r, cycle + c);
             debug_assert_eq!(self.owner[s], Some(inst), "free of foreign reservation");
             self.owner[s] = None;
         }
+        self.counters
+            .record(QueryFn::Free, self.compiled.of(op).len() as u64);
     }
 
     fn counters(&self) -> &WorkCounters {

@@ -1,7 +1,7 @@
 //! The eager (compiled-mask, always-owned) query module.
 
 use crate::compiled::{CompiledMasks, CompiledUsages};
-use crate::counters::WorkCounters;
+use crate::counters::{QueryFn, WorkCounters};
 use crate::registry::{OpInstance, Registry};
 #[cfg(debug_assertions)]
 use crate::trace::{ProtocolChecker, QueryEvent};
@@ -127,33 +127,36 @@ impl CompiledModule {
 
 impl ContentionQuery for CompiledModule {
     fn check(&mut self, op: OpId, cycle: u32) -> bool {
-        self.counters.check.calls += 1;
         let k = self.layout.k;
         let (a, base) = (cycle % k, (cycle / k) as usize);
+        let mut units = 0;
+        let mut clear = true;
         for &(off, m) in self.masks.of(op, a) {
-            self.counters.check.units += 1;
+            units += 1;
             let w = self.words.get(base + off as usize).copied().unwrap_or(0);
             if w & m != 0 {
-                return false;
+                clear = false;
+                break;
             }
         }
-        true
+        self.counters.record(QueryFn::Check, units);
+        clear
     }
 
     fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::Assign { inst, op, cycle });
-        self.counters.assign.calls += 1;
         self.ensure_horizon(cycle + self.usages.length[op.index()]);
         let k = self.layout.k;
         let (a, base) = (cycle % k, (cycle / k) as usize);
         for i in 0..self.masks.of(op, a).len() {
             let (off, m) = self.masks.of(op, a)[i];
-            self.counters.assign.units += 1;
             let w = &mut self.words[base + off as usize];
             debug_assert_eq!(*w & m, 0, "assign over a reservation");
             *w |= m;
         }
+        self.counters
+            .record(QueryFn::Assign, self.masks.of(op, a).len() as u64);
         for i in 0..self.usages.of(op).len() {
             let (r, c) = self.usages.of(op)[i];
             let s = self.slot(r, cycle + c);
@@ -165,12 +168,12 @@ impl ContentionQuery for CompiledModule {
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::AssignFree { inst, op, cycle });
-        self.counters.assign_free.calls += 1;
         self.ensure_horizon(cycle + self.usages.length[op.index()]);
+        let mut units = 0;
         let mut evicted = Vec::new();
         for i in 0..self.usages.of(op).len() {
             let (r, c) = self.usages.of(op)[i];
-            self.counters.assign_free.units += 1;
+            units += 1;
             let gc = cycle + c;
             if let Some(holder) = self.owner[self.slot(r, gc)] {
                 if holder != inst {
@@ -180,7 +183,7 @@ impl ContentionQuery for CompiledModule {
                         .expect("owner entries track registered instances");
                     for j in 0..self.usages.of(hop).len() {
                         let (hr, hc) = self.usages.of(hop)[j];
-                        self.counters.assign_free.units += 1;
+                        units += 1;
                         self.clear_usage(hr, hcycle + hc);
                     }
                     evicted.push(holder);
@@ -192,6 +195,7 @@ impl ContentionQuery for CompiledModule {
             let bit = (gc % k) * self.usages.num_resources as u32 + r;
             self.words[(gc / k) as usize] |= 1u64 << bit;
         }
+        self.counters.record(QueryFn::AssignFree, units);
         self.registry.insert(inst, op, cycle);
         evicted
     }
@@ -199,18 +203,18 @@ impl ContentionQuery for CompiledModule {
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
         #[cfg(debug_assertions)]
         self.guard(QueryEvent::Free { inst, op, cycle });
-        self.counters.free.calls += 1;
         let removed = self.registry.remove(inst);
         debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
         let k = self.layout.k;
         let (a, base) = (cycle % k, (cycle / k) as usize);
         for i in 0..self.masks.of(op, a).len() {
             let (off, m) = self.masks.of(op, a)[i];
-            self.counters.free.units += 1;
             let w = &mut self.words[base + off as usize];
             debug_assert_eq!(*w & m, m, "free of unreserved bits");
             *w &= !m;
         }
+        self.counters
+            .record(QueryFn::Free, self.masks.of(op, a).len() as u64);
         for i in 0..self.usages.of(op).len() {
             let (r, c) = self.usages.of(op)[i];
             let s = self.slot(r, cycle + c);

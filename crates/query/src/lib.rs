@@ -57,6 +57,7 @@ mod compiled;
 mod counters;
 mod discrete;
 mod eager;
+mod metered;
 mod modulo;
 mod registry;
 pub mod trace;
@@ -64,9 +65,10 @@ mod traits;
 
 pub use alt::check_with_alt;
 pub use bitvec::{BitvecModule, WordLayout};
-pub use counters::{FnCounter, WorkCounters};
+pub use counters::{FnCounter, QueryFn, WorkCounters};
 pub use discrete::DiscreteModule;
 pub use eager::CompiledModule;
+pub use metered::MeteredQuery;
 pub use modulo::{ModuloBitvecModule, ModuloDiscreteModule, ModuloMaskCache};
 pub use registry::OpInstance;
 pub use trace::{Answer, ProtocolChecker, ProtocolViolation, QueryEvent, QueryTrace, Response};

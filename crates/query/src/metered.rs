@@ -1,0 +1,255 @@
+//! [`MeteredQuery`] — per-function latency metering around any
+//! contention query backend.
+//!
+//! [`WorkCounters`] measure *work units*, the paper's machine-neutral
+//! cost model. `MeteredQuery` adds the wall-clock side: one log2
+//! histogram of call latencies per protocol function, recorded only
+//! while [`rmd_obs`] tracing is enabled so the wrapper is free in
+//! normal runs (one relaxed atomic load per call, no clock reads, no
+//! allocation). The work counters stay byte-identical to the inner
+//! module's — the wrapper delegates `counters()` untouched.
+
+use crate::counters::{QueryFn, WorkCounters};
+use crate::registry::OpInstance;
+use crate::traits::ContentionQuery;
+use rmd_machine::OpId;
+use rmd_obs::{Histogram, MetricRegistry};
+use std::time::Instant;
+
+/// Wraps a [`ContentionQuery`] with per-function latency histograms.
+///
+/// Timing is gated on [`rmd_obs::is_enabled`]: when tracing is off,
+/// every call is a plain delegation. The histograms live directly in
+/// the struct (no map lookups on the hot path) and merge associatively,
+/// so per-worker wrappers can be combined like the counters they extend.
+///
+/// # Example
+///
+/// ```
+/// use rmd_machine::models::example_machine;
+/// use rmd_query::{ContentionQuery, DiscreteModule, MeteredQuery, OpInstance, QueryFn};
+///
+/// let m = example_machine();
+/// let b = m.op_by_name("B").unwrap();
+/// let mut q = MeteredQuery::new(DiscreteModule::new(&m));
+/// rmd_obs::set_enabled(true);
+/// q.assign(OpInstance(0), b, 0);
+/// assert!(!q.check(b, 1));
+/// rmd_obs::set_enabled(false);
+/// assert_eq!(q.latency(QueryFn::Check).count(), 1);
+/// assert_eq!(q.counters().check.calls, 1); // work units: untouched
+/// ```
+#[derive(Clone, Debug)]
+pub struct MeteredQuery<Q> {
+    inner: Q,
+    check_ns: Histogram,
+    assign_ns: Histogram,
+    assign_free_ns: Histogram,
+    free_ns: Histogram,
+}
+
+impl<Q> MeteredQuery<Q> {
+    /// Wraps `inner` with empty latency histograms.
+    pub fn new(inner: Q) -> Self {
+        MeteredQuery {
+            inner,
+            check_ns: Histogram::new(),
+            assign_ns: Histogram::new(),
+            assign_free_ns: Histogram::new(),
+            free_ns: Histogram::new(),
+        }
+    }
+
+    /// The wrapped module.
+    pub fn inner(&self) -> &Q {
+        &self.inner
+    }
+
+    /// The wrapped module, mutably (latencies of direct calls through
+    /// this reference are not recorded).
+    pub fn inner_mut(&mut self) -> &mut Q {
+        &mut self.inner
+    }
+
+    /// Unwraps the module, discarding the histograms.
+    pub fn into_inner(self) -> Q {
+        self.inner
+    }
+
+    /// The latency histogram (nanoseconds per call) of one function.
+    pub fn latency(&self, f: QueryFn) -> &Histogram {
+        match f {
+            QueryFn::Check => &self.check_ns,
+            QueryFn::Assign => &self.assign_ns,
+            QueryFn::AssignFree => &self.assign_free_ns,
+            QueryFn::Free => &self.free_ns,
+        }
+    }
+
+    /// Merges another wrapper's latency histograms into this one
+    /// (associative/commutative, like every obs merge).
+    pub fn merge_latencies(&mut self, other: &MeteredQuery<Q>) {
+        self.check_ns.merge(&other.check_ns);
+        self.assign_ns.merge(&other.assign_ns);
+        self.assign_free_ns.merge(&other.assign_free_ns);
+        self.free_ns.merge(&other.free_ns);
+    }
+
+    #[inline]
+    fn hist_mut(&mut self, f: QueryFn) -> &mut Histogram {
+        match f {
+            QueryFn::Check => &mut self.check_ns,
+            QueryFn::Assign => &mut self.assign_ns,
+            QueryFn::AssignFree => &mut self.assign_free_ns,
+            QueryFn::Free => &mut self.free_ns,
+        }
+    }
+
+    #[inline]
+    fn timed<R>(&mut self, f: QueryFn, body: impl FnOnce(&mut Q) -> R) -> R {
+        if rmd_obs::is_enabled() {
+            let t0 = Instant::now();
+            let r = body(&mut self.inner);
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.hist_mut(f).record(ns);
+            r
+        } else {
+            body(&mut self.inner)
+        }
+    }
+}
+
+impl<Q: ContentionQuery> MeteredQuery<Q> {
+    /// Exports everything this wrapper knows into a fresh registry:
+    /// latency histograms `{prefix}.{fn}.latency_ns` plus the inner
+    /// module's work counters under `{prefix}` (see
+    /// [`WorkCounters::export_to`]).
+    pub fn export_registry(&self, prefix: &str) -> MetricRegistry {
+        let mut reg = MetricRegistry::new();
+        for f in QueryFn::ALL {
+            reg.merge_histogram(&format!("{prefix}.{}.latency_ns", f.name()), self.latency(f));
+        }
+        self.inner.counters().export_to(&mut reg, prefix);
+        reg
+    }
+}
+
+impl<Q: ContentionQuery> ContentionQuery for MeteredQuery<Q> {
+    fn check(&mut self, op: OpId, cycle: u32) -> bool {
+        self.timed(QueryFn::Check, |q| q.check(op, cycle))
+    }
+
+    fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        self.timed(QueryFn::Assign, |q| q.assign(inst, op, cycle));
+    }
+
+    fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
+        self.timed(QueryFn::AssignFree, |q| q.assign_free(inst, op, cycle))
+    }
+
+    fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
+        self.timed(QueryFn::Free, |q| q.free(inst, op, cycle));
+    }
+
+    fn counters(&self) -> &WorkCounters {
+        self.inner.counters()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.check_ns = Histogram::new();
+        self.assign_ns = Histogram::new();
+        self.assign_free_ns = Histogram::new();
+        self.free_ns = Histogram::new();
+    }
+
+    fn num_scheduled(&self) -> usize {
+        self.inner.num_scheduled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::DiscreteModule;
+    use rmd_machine::models::example_machine;
+
+    /// Serializes tests that toggle the global tracing flag.
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        rmd_obs::set_enabled(true);
+        let r = f();
+        rmd_obs::set_enabled(false);
+        r
+    }
+
+    fn metered() -> (rmd_machine::MachineDescription, MeteredQuery<DiscreteModule>, OpId) {
+        let m = example_machine();
+        let b = m.op_by_name("B").unwrap();
+        let q = MeteredQuery::new(DiscreteModule::new(&m));
+        (m, q, b)
+    }
+
+    #[test]
+    fn latencies_record_only_while_enabled() {
+        let (_, mut q, b) = metered();
+        assert!(q.check(b, 0)); // disabled: no sample
+        assert_eq!(q.latency(QueryFn::Check).count(), 0);
+        with_tracing(|| {
+            q.assign(OpInstance(0), b, 0);
+            assert!(!q.check(b, 1));
+            q.free(OpInstance(0), b, 0);
+            let _ = q.assign_free(OpInstance(1), b, 0);
+        });
+        assert_eq!(q.latency(QueryFn::Check).count(), 1);
+        assert_eq!(q.latency(QueryFn::Assign).count(), 1);
+        assert_eq!(q.latency(QueryFn::Free).count(), 1);
+        assert_eq!(q.latency(QueryFn::AssignFree).count(), 1);
+        // Work counters saw every call, including the untimed one.
+        assert_eq!(q.counters().check.calls, 2);
+    }
+
+    #[test]
+    fn behaves_exactly_like_the_inner_module() {
+        let m = example_machine();
+        let b = m.op_by_name("B").unwrap();
+        let mut plain = DiscreteModule::new(&m);
+        let mut wrapped = MeteredQuery::new(DiscreteModule::new(&m));
+        for (i, cycle) in [0u32, 4, 2].iter().enumerate() {
+            let e1 = plain.assign_free(OpInstance(i as u32), b, *cycle);
+            let e2 = wrapped.assign_free(OpInstance(i as u32), b, *cycle);
+            assert_eq!(e1, e2);
+        }
+        for t in 0..12 {
+            assert_eq!(plain.check(b, t), wrapped.check(b, t), "@{t}");
+        }
+        assert_eq!(plain.counters(), wrapped.counters());
+        assert_eq!(plain.num_scheduled(), wrapped.num_scheduled());
+    }
+
+    #[test]
+    fn export_registry_carries_latencies_and_counters() {
+        let (_, mut q, b) = metered();
+        with_tracing(|| {
+            q.assign(OpInstance(0), b, 0);
+            q.check(b, 1);
+        });
+        let reg = q.export_registry("query.discrete");
+        assert_eq!(reg.histogram("query.discrete.check.latency_ns").unwrap().count(), 1);
+        assert_eq!(reg.counter("query.discrete.assign.calls"), 1);
+        assert_eq!(reg.counter("query.discrete.check.calls"), 1);
+    }
+
+    #[test]
+    fn reset_clears_histograms_and_inner_state() {
+        let (_, mut q, b) = metered();
+        with_tracing(|| {
+            q.assign(OpInstance(0), b, 0);
+        });
+        q.reset();
+        assert_eq!(q.latency(QueryFn::Assign).count(), 0);
+        assert_eq!(q.counters().assign.calls, 0);
+        assert_eq!(q.num_scheduled(), 0);
+    }
+}

@@ -7,7 +7,7 @@
 //! allocates one per scheduling attempt (II is fixed per attempt).
 
 use crate::compiled::{CompiledUsages, ModuloMasks};
-use crate::counters::WorkCounters;
+use crate::counters::{QueryFn, WorkCounters};
 use crate::registry::{OpInstance, Registry};
 use crate::traits::ContentionQuery;
 use crate::WordLayout;
@@ -118,39 +118,43 @@ impl ModuloDiscreteModule {
 
 impl ContentionQuery for ModuloDiscreteModule {
     fn check(&mut self, op: OpId, cycle: u32) -> bool {
-        self.counters.check.calls += 1;
         // An op whose table is longer than II may self-overlap across
         // iterations (two usages of one resource in cycles c ≡ c' mod II
         // hit the same slot); such ops can never be placed under this II.
         if !self.fits[op.index()] {
+            self.counters.record(QueryFn::Check, 0);
             return false;
         }
+        let mut units = 0;
+        let mut clear = true;
         for &(r, c) in self.compiled.of(op) {
-            self.counters.check.units += 1;
+            units += 1;
             if self.owner[self.slot(r, cycle, c)].is_some() {
-                return false;
+                clear = false;
+                break;
             }
         }
-        true
+        self.counters.record(QueryFn::Check, units);
+        clear
     }
 
     fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
-        self.counters.assign.calls += 1;
         for &(r, c) in self.compiled.of(op) {
-            self.counters.assign.units += 1;
             let s = self.slot(r, cycle, c);
             debug_assert!(self.owner[s].is_none(), "assign over a reservation");
             self.owner[s] = Some(inst);
         }
+        self.counters
+            .record(QueryFn::Assign, self.compiled.of(op).len() as u64);
         self.registry.insert(inst, op, cycle);
     }
 
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
-        self.counters.assign_free.calls += 1;
+        let mut units = 0;
         let mut evicted = Vec::new();
         for ui in 0..self.compiled.of(op).len() {
             let (r, c) = self.compiled.of(op)[ui];
-            self.counters.assign_free.units += 1;
+            units += 1;
             let s = self.slot(r, cycle, c);
             if let Some(holder) = self.owner[s] {
                 if holder != inst {
@@ -159,7 +163,7 @@ impl ContentionQuery for ModuloDiscreteModule {
                         .remove(holder)
                         .expect("owner entries track registered instances");
                     for &(hr, hc) in self.compiled.of(hop) {
-                        self.counters.assign_free.units += 1;
+                        units += 1;
                         let hs = self.slot(hr, hcycle, hc);
                         self.owner[hs] = None;
                     }
@@ -168,20 +172,21 @@ impl ContentionQuery for ModuloDiscreteModule {
             }
             self.owner[s] = Some(inst);
         }
+        self.counters.record(QueryFn::AssignFree, units);
         self.registry.insert(inst, op, cycle);
         evicted
     }
 
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
-        self.counters.free.calls += 1;
         let removed = self.registry.remove(inst);
         debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
         for &(r, c) in self.compiled.of(op) {
-            self.counters.free.units += 1;
             let s = self.slot(r, cycle, c);
             debug_assert_eq!(self.owner[s], Some(inst), "free of foreign reservation");
             self.owner[s] = None;
         }
+        self.counters
+            .record(QueryFn::Free, self.compiled.of(op).len() as u64);
     }
 
     fn counters(&self) -> &WorkCounters {
@@ -288,8 +293,8 @@ impl ModuloBitvecModule {
                 owner[s] = Some(inst);
             }
         }
-        self.counters.assign_free.units += scanned;
-        self.counters.transitions += 1;
+        self.counters.charge_units(QueryFn::AssignFree, scanned);
+        self.counters.record_transition();
         self.owner = Some(owner);
     }
 
@@ -304,28 +309,32 @@ impl ModuloBitvecModule {
 
 impl ContentionQuery for ModuloBitvecModule {
     fn check(&mut self, op: OpId, cycle: u32) -> bool {
-        self.counters.check.calls += 1;
         if !self.fits[op.index()] {
+            self.counters.record(QueryFn::Check, 0);
             return false;
         }
         let slot = cycle % self.ii;
+        let mut units = 0;
+        let mut clear = true;
         for &(w, m) in self.masks.of(op, slot) {
-            self.counters.check.units += 1;
+            units += 1;
             if self.words[w as usize] & m != 0 {
-                return false;
+                clear = false;
+                break;
             }
         }
-        true
+        self.counters.record(QueryFn::Check, units);
+        clear
     }
 
     fn assign(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
-        self.counters.assign.calls += 1;
         let slot = cycle % self.ii;
         for &(w, m) in self.masks.of(op, slot) {
-            self.counters.assign.units += 1;
             debug_assert_eq!(self.words[w as usize] & m, 0, "assign over a reservation");
             self.words[w as usize] |= m;
         }
+        self.counters
+            .record(QueryFn::Assign, self.masks.of(op, slot).len() as u64);
         if let Some(owner) = &mut self.owner {
             let nr = self.usages.num_resources;
             for &(r, c) in self.usages.of(op) {
@@ -337,13 +346,13 @@ impl ContentionQuery for ModuloBitvecModule {
     }
 
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
-        self.counters.assign_free.calls += 1;
         let slot = cycle % self.ii;
+        let mut units = 0;
 
         if self.owner.is_none() {
             let mut conflict = false;
             for &(w, m) in self.masks.of(op, slot) {
-                self.counters.assign_free.units += 1;
+                units += 1;
                 if self.words[w as usize] & m != 0 {
                     conflict = true;
                     break;
@@ -355,9 +364,11 @@ impl ContentionQuery for ModuloBitvecModule {
                 for &(w, m) in self.masks.of(op, slot) {
                     self.words[w as usize] |= m;
                 }
+                self.counters.record(QueryFn::AssignFree, units);
                 self.registry.insert(inst, op, cycle);
                 return Vec::new();
             }
+            // The rebuild scan is charged to assign&free inside the call.
             self.transition_to_update();
         }
 
@@ -366,7 +377,7 @@ impl ContentionQuery for ModuloBitvecModule {
         let mut evicted = Vec::new();
         for ui in 0..self.usages.of(op).len() {
             let (r, c) = self.usages.of(op)[ui];
-            self.counters.assign_free.units += 1;
+            units += 1;
             let s = ((cycle as u64 + c as u64) % ii) as usize * nr + r as usize;
             let holder = self.owner.as_ref().expect("update mode")[s];
             if let Some(holder) = holder {
@@ -377,7 +388,7 @@ impl ContentionQuery for ModuloBitvecModule {
                         .expect("owner entries track registered instances");
                     for hj in 0..self.usages.of(hop).len() {
                         let (hr, hc) = self.usages.of(hop)[hj];
-                        self.counters.assign_free.units += 1;
+                        units += 1;
                         let hs = ((hcycle as u64 + hc as u64) % ii) as usize * nr + hr as usize;
                         self.owner.as_mut().expect("update mode")[hs] = None;
                         let (w, m) = self.flag_pos(hr, hcycle, hc);
@@ -390,20 +401,21 @@ impl ContentionQuery for ModuloBitvecModule {
             let (w, m) = self.flag_pos(r, cycle, c);
             self.words[w] |= m;
         }
+        self.counters.record(QueryFn::AssignFree, units);
         self.registry.insert(inst, op, cycle);
         evicted
     }
 
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
-        self.counters.free.calls += 1;
         let removed = self.registry.remove(inst);
         debug_assert_eq!(removed, Some((op, cycle)), "free of unscheduled instance");
         let slot = cycle % self.ii;
         for &(w, m) in self.masks.of(op, slot) {
-            self.counters.free.units += 1;
             debug_assert_eq!(self.words[w as usize] & m, m, "free of unreserved bits");
             self.words[w as usize] &= !m;
         }
+        self.counters
+            .record(QueryFn::Free, self.masks.of(op, slot).len() as u64);
         if let Some(owner) = &mut self.owner {
             let nr = self.usages.num_resources;
             for &(r, c) in self.usages.of(op) {
@@ -544,6 +556,16 @@ impl ModuloMaskCache {
     /// cache's memory footprint in units of one packed word operation.
     pub fn mask_entries(&self) -> usize {
         self.by_ii.values().map(|(m, _)| m.num_entries()).sum()
+    }
+
+    /// Exports the cache statistics into `reg` under `prefix`:
+    /// `{prefix}.hits` / `{prefix}.misses` counters plus
+    /// `{prefix}.cached_iis` / `{prefix}.mask_entries` gauges.
+    pub fn export_to(&self, reg: &mut rmd_obs::MetricRegistry, prefix: &str) {
+        reg.inc(&format!("{prefix}.hits"), self.hits);
+        reg.inc(&format!("{prefix}.misses"), self.misses);
+        reg.set_gauge(&format!("{prefix}.cached_iis"), self.by_ii.len() as u64);
+        reg.set_gauge(&format!("{prefix}.mask_entries"), self.mask_entries() as u64);
     }
 }
 

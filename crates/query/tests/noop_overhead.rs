@@ -1,0 +1,94 @@
+//! Overhead guard for the observability layer: with tracing disabled
+//! (the default), the `check` hot path — including the
+//! [`MeteredQuery`] wrapper — must perform **zero heap allocations**.
+//! Schedulers issue millions of checks per reduction, so any per-call
+//! allocation introduced by instrumentation is a real regression, not a
+//! style nit. A counting global allocator makes the claim testable.
+
+use rmd_machine::models::{example_machine, mips_r3000};
+use rmd_query::{
+    BitvecModule, CompiledModule, ContentionQuery, DiscreteModule, MeteredQuery, WordLayout,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator and counts every allocation call.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `body` and returns how many allocations it performed.
+fn allocations_during(body: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    body();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+/// Issues a deterministic mix of `check` calls over every op and a
+/// spread of cycles.
+fn check_storm<Q: ContentionQuery>(q: &mut MeteredQuery<Q>, num_ops: usize) {
+    let mut admitted = 0u64;
+    for round in 0..200u32 {
+        for op in 0..num_ops {
+            if q.check(rmd_machine::OpId(op as u32), round % 37) {
+                admitted += 1;
+            }
+        }
+    }
+    // Keep the loop observable so the optimizer cannot delete it.
+    assert!(admitted > 0, "storm admitted nothing");
+}
+
+#[test]
+fn metered_check_path_does_not_allocate_when_tracing_is_off() {
+    assert!(
+        !rmd_obs::is_enabled(),
+        "tracing must be off for the overhead guard"
+    );
+
+    for m in [example_machine(), mips_r3000()] {
+        let num_ops = m.num_operations();
+        let layout = WordLayout::widest(64, m.num_resources());
+
+        let mut discrete = MeteredQuery::new(DiscreteModule::new(&m));
+        let mut bitvec = MeteredQuery::new(BitvecModule::new(&m, layout));
+        let mut compiled = MeteredQuery::new(CompiledModule::new(&m, layout));
+
+        // Warm-up pass: let lazy tables and counters reach steady state
+        // before measuring.
+        check_storm(&mut discrete, num_ops);
+        check_storm(&mut bitvec, num_ops);
+        check_storm(&mut compiled, num_ops);
+
+        for (name, allocs) in [
+            ("discrete", allocations_during(|| check_storm(&mut discrete, num_ops))),
+            ("bitvec", allocations_during(|| check_storm(&mut bitvec, num_ops))),
+            ("compiled", allocations_during(|| check_storm(&mut compiled, num_ops))),
+        ] {
+            assert_eq!(
+                allocs, 0,
+                "{name} check path allocated {allocs} times on `{}` with tracing off",
+                m.name()
+            );
+        }
+    }
+}

@@ -243,6 +243,7 @@ impl IterativeModuloScheduler {
         let mut ii = mii.max(1);
         while ii <= self.config.max_ii {
             attempts += 1;
+            let span = rmd_obs::span_with("sched", "attempt", "ii", u64::from(ii));
             let mut module: Box<dyn ContentionQuery> = match repr {
                 Representation::Discrete => Box::new(ModuloDiscreteModule::new(machine, ii)),
                 Representation::Bitvec(layout) => match cache.as_deref_mut() {
@@ -256,6 +257,18 @@ impl IterativeModuloScheduler {
             reversed_by_resource += outcome.reversed_by_resource;
             reversed_by_dependence += outcome.reversed_by_dependence;
             per_attempt_ratio.push(outcome.decisions as f64 / n as f64);
+            drop(span);
+            if outcome.reversed_by_resource > 0 {
+                rmd_obs::instant_with(
+                    "sched",
+                    "evictions",
+                    "count",
+                    outcome.reversed_by_resource,
+                );
+            }
+            if outcome.times.is_none() {
+                rmd_obs::instant_with("sched", "budget_exhausted", "spent", outcome.decisions);
+            }
             if let Some((times, chosen)) = outcome.times {
                 return Ok(ImsResult {
                     times,
@@ -567,6 +580,26 @@ mod tests {
             1,
             &mut cache,
         );
+    }
+
+    #[test]
+    fn tracing_emits_one_attempt_span_per_ii() {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        let m = cydra5_subset();
+        let g = chain(&m, &["load.w.0", "fadd", "store.w.0"], 8);
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        rmd_obs::set_enabled(true);
+        let _ = rmd_obs::drain_events();
+        let r = ims.schedule(&g, &m, Representation::Discrete).expect("test setup");
+        let events = rmd_obs::drain_events();
+        rmd_obs::set_enabled(false);
+        let attempts: Vec<_> = events
+            .iter()
+            .filter(|e| e.cat == "sched" && e.name == "attempt")
+            .collect();
+        assert_eq!(attempts.len(), r.attempts as usize);
+        assert_eq!(attempts.last().unwrap().arg, Some(("ii", u64::from(r.ii))));
     }
 
     #[test]
