@@ -5,19 +5,26 @@
 //! machine-readable `BENCH_<name>.json` record — the perf trajectory
 //! every later optimization PR is judged against.
 //!
-//! Record schema (`"schema": "rmd-bench/2"`): see the field docs on
+//! Record schema (`"schema": "rmd-bench/3"`): see the field docs on
 //! [`BenchRecord`] and the schema note in the repository README.
-//! Schema 2 adds the `phases` section — per-phase wall-clock of one
-//! traced reduction run (see [`crate::profile::PhaseTiming`]).
+//! Schema 2 added the `phases` section — per-phase wall-clock of one
+//! traced reduction run (see [`crate::profile::PhaseTiming`]). Schema 3
+//! adds the `query_window` section — batched window queries vs the
+//! scalar per-cycle scan (see [`QueryWindowBench`]) — and the
+//! `check_window` fields of [`crate::CounterSummary`].
 //! Timings are wall-clock milliseconds measured on whatever host ran
 //! the bench; the derived throughput numbers (`queries_per_sec`,
 //! `speedup`) are for trend-watching, not cross-host comparison.
 
 use crate::{
     aggregate, reduction_report, run_suite_runs, run_suite_runs_parallel, SuiteStats,
+    BACKEND_NAMES,
 };
 use rmd_machine::{MachineDescription, OpId};
-use rmd_query::{BitvecModule, ContentionQuery, OpInstance, WordLayout, WorkCounters};
+use rmd_query::{
+    BitvecModule, CompiledModule, ContentionQuery, DiscreteModule, ModuloBitvecModule,
+    ModuloDiscreteModule, OpInstance, WordLayout, WorkCounters,
+};
 use rmd_sched::Representation;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -26,7 +33,7 @@ use std::time::Instant;
 
 /// Schema tag stamped into every record; bump on breaking layout
 /// changes.
-pub const SCHEMA: &str = "rmd-bench/2";
+pub const SCHEMA: &str = "rmd-bench/3";
 
 /// Loop count of the full suite (the paper's §8 corpus).
 pub const FULL_LOOPS: usize = 1327;
@@ -47,6 +54,10 @@ pub struct BenchOptions {
     pub threads: usize,
     /// Directory the `BENCH_*.json` records are written to.
     pub out_dir: PathBuf,
+    /// Query backend the `query_window` workload runs against (a
+    /// [`BACKEND_NAMES`] entry; `None` means `"bitvec"`). The CLI
+    /// validates user input before it reaches here.
+    pub backend: Option<&'static str>,
 }
 
 /// A sensible default worker-thread count: the host's available
@@ -79,6 +90,9 @@ pub struct BenchRecord {
     pub phases: Vec<crate::profile::PhaseTiming>,
     /// Contention-query workload.
     pub query: QueryBench,
+    /// Batched window queries vs the scalar per-cycle scan (schema
+    /// rmd-bench/3 addition).
+    pub query_window: QueryWindowBench,
     /// Loop-suite scheduling workload; `null` for machines outside the
     /// Cydra benchmark-subset vocabulary.
     pub scheduler: Option<SchedulerBench>,
@@ -111,6 +125,36 @@ pub struct QueryBench {
     pub wall_ms: f64,
     /// Query calls per second.
     pub queries_per_sec: f64,
+}
+
+/// Head-to-head timing of the batched window queries against the
+/// per-cycle scan they replace, both through `&mut dyn ContentionQuery`
+/// (the scheduler's access path). The scalar pass assembles each
+/// 64-cycle availability bitmask from individual `check` calls; the
+/// window pass asks `check_window` once per window on the same module
+/// state, so `masks_identical` pins semantic equivalence while the
+/// load counters pin the mechanical saving.
+#[derive(Clone, Debug, Serialize)]
+pub struct QueryWindowBench {
+    /// Backend the workload ran against (a [`BACKEND_NAMES`] entry).
+    pub backend: String,
+    /// Workload rounds (each scans the whole cycle span once).
+    pub rounds: u32,
+    /// Window queries issued per pass.
+    pub windows: u64,
+    /// Wall-clock milliseconds of the scalar per-cycle pass.
+    pub scalar_wall_ms: f64,
+    /// Wall-clock milliseconds of the batched window pass.
+    pub window_wall_ms: f64,
+    /// `scalar_wall_ms / window_wall_ms`.
+    pub speedup: f64,
+    /// Backend word loads of the scalar pass (its `check` units).
+    pub scalar_mask_loads: u64,
+    /// Backend word loads of the window pass (its `check_window`
+    /// units — strictly fewer on word-packed backends).
+    pub window_mask_loads: u64,
+    /// Whether both passes produced bit-identical availability masks.
+    pub masks_identical: bool,
 }
 
 /// One bucket of the achieved-II histogram.
@@ -211,6 +255,87 @@ fn query_bench(m: &MachineDescription, rounds: u32) -> QueryBench {
     }
 }
 
+/// Builds the named query backend over `m`. The modulo backends use an
+/// II of the longest reservation table so every operation fits.
+fn backend_module(m: &MachineDescription, name: &str) -> Box<dyn ContentionQuery> {
+    let layout = WordLayout::widest(64, m.num_resources());
+    let ii = m.max_table_length().max(1);
+    match name {
+        "discrete" => Box::new(DiscreteModule::new(m)),
+        "bitvec" => Box::new(BitvecModule::new(m, layout)),
+        "compiled" => Box::new(CompiledModule::new(m, layout)),
+        "modulo_discrete" => Box::new(ModuloDiscreteModule::new(m, ii)),
+        "modulo_bitvec" => Box::new(ModuloBitvecModule::new(m, ii, layout)),
+        other => panic!("unknown backend `{other}` (the CLI validates names)"),
+    }
+}
+
+fn query_window_bench(m: &MachineDescription, rounds: u32, backend: &str) -> QueryWindowBench {
+    let span = 512u32;
+    let nops = m.num_operations().max(1) as u32;
+    let mut module = backend_module(m, backend);
+    let q: &mut dyn ContentionQuery = module.as_mut();
+
+    // Greedy fill so each window sees a mix of free and busy cycles.
+    let mut inst = 0u32;
+    for cycle in 0..span {
+        let op = OpId(cycle % nops);
+        if q.check(op, cycle) {
+            q.assign(OpInstance(inst), op, cycle);
+            inst += 1;
+        }
+    }
+
+    let windows_per_round = span / 64;
+    let mut scalar_masks = Vec::new();
+    let scalar_loads_before = q.counters().check.units;
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        for w in 0..windows_per_round {
+            let op = OpId((w + round) % nops);
+            let start = w * 64;
+            let mut mask = 0u64;
+            for i in 0..64u32 {
+                if q.check(op, start + i) {
+                    mask |= 1u64 << i;
+                }
+            }
+            if round == 0 {
+                scalar_masks.push(mask);
+            }
+        }
+    }
+    let scalar_wall = t0.elapsed().as_secs_f64();
+    let scalar_mask_loads = q.counters().check.units - scalar_loads_before;
+
+    let mut window_masks = Vec::new();
+    let window_loads_before = q.counters().check_window.units;
+    let t1 = Instant::now();
+    for round in 0..rounds {
+        for w in 0..windows_per_round {
+            let op = OpId((w + round) % nops);
+            let mask = q.check_window(op, w * 64, 64);
+            if round == 0 {
+                window_masks.push(mask);
+            }
+        }
+    }
+    let window_wall = t1.elapsed().as_secs_f64();
+    let window_mask_loads = q.counters().check_window.units - window_loads_before;
+
+    QueryWindowBench {
+        backend: backend.to_owned(),
+        rounds,
+        windows: u64::from(rounds) * u64::from(windows_per_round),
+        scalar_wall_ms: scalar_wall * 1e3,
+        window_wall_ms: window_wall * 1e3,
+        speedup: scalar_wall / window_wall.max(1e-9),
+        scalar_mask_loads,
+        window_mask_loads,
+        masks_identical: scalar_masks == window_masks,
+    }
+}
+
 fn scheduler_bench(m: &MachineDescription, opts: &BenchOptions) -> SchedulerBench {
     let ops = rmd_loops::OpSet::for_cydra_subset(m);
     let count = if opts.quick { QUICK_LOOPS } else { FULL_LOOPS };
@@ -270,6 +395,9 @@ fn phases_bench(m: &MachineDescription) -> Vec<crate::profile::PhaseTiming> {
 /// Runs all applicable workloads against `machine`.
 pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> BenchRecord {
     let (red_rounds, query_rounds) = if opts.quick { (1, 8) } else { (3, 64) };
+    // Window rounds are higher: each round is only a handful of window
+    // queries, and the speedup ratio needs enough samples to be stable.
+    let window_rounds = if opts.quick { 64 } else { 512 };
     BenchRecord {
         schema: SCHEMA.to_owned(),
         machine: machine.name().to_owned(),
@@ -282,6 +410,11 @@ pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> Bench
         reduction: reduction_bench(machine, red_rounds),
         phases: phases_bench(machine),
         query: query_bench(machine, query_rounds),
+        query_window: query_window_bench(
+            machine,
+            window_rounds,
+            opts.backend.unwrap_or(BACKEND_NAMES[1]),
+        ),
         scheduler: suite_supported(machine).then(|| scheduler_bench(machine, opts)),
     }
 }
@@ -514,6 +647,7 @@ mod tests {
             quick: true,
             threads: 2,
             out_dir: PathBuf::from("."),
+            backend: None,
         };
         let rec = bench_machine(&example_machine(), &opts);
         assert_eq!(rec.schema, SCHEMA);
@@ -523,8 +657,31 @@ mod tests {
         assert!(rec.query.queries > 0);
         assert!(rec.query.queries_per_sec > 0.0);
         assert!(rec.reduction.reductions > 0);
+        assert_eq!(rec.query_window.backend, "bitvec");
+        assert!(rec.query_window.windows > 0);
+        assert!(rec.query_window.speedup.is_finite());
+        assert!(rec.query_window.masks_identical);
+        // fig1's widest layout packs 12 cycles per word: the batched
+        // scan must answer from strictly fewer loads than the scalar
+        // one-load-per-probed-mask-entry pass.
+        assert!(
+            rec.query_window.window_mask_loads > 0
+                && rec.query_window.window_mask_loads < rec.query_window.scalar_mask_loads,
+            "{:?}",
+            rec.query_window
+        );
         let json = serde_json::to_string_pretty(&rec).unwrap();
         assert!(json_is_well_formed(&json), "{json}");
+    }
+
+    #[test]
+    fn query_window_masks_agree_on_every_backend() {
+        let m = cydra5_subset();
+        for name in crate::BACKEND_NAMES {
+            let qw = query_window_bench(&m, 2, name);
+            assert!(qw.masks_identical, "{name}: {qw:?}");
+            assert!(qw.windows > 0, "{name}");
+        }
     }
 
     #[test]
@@ -533,6 +690,7 @@ mod tests {
             quick: true,
             threads: 2,
             out_dir: std::env::temp_dir().join("rmd-benchcmd-test"),
+            backend: None,
         };
         let mut rec = bench_machine(&example_machine(), &opts);
         rec.machine = "benchcmd-unit".into(); // avoid clobbering real records
@@ -540,8 +698,9 @@ mod tests {
         assert!(path.ends_with("BENCH_benchcmd-unit.json"));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(json_is_well_formed(&body));
-        assert!(body.contains("\"schema\": \"rmd-bench/2\""));
+        assert!(body.contains("\"schema\": \"rmd-bench/3\""));
         assert!(body.contains("\"phases\""));
+        assert!(body.contains("\"query_window\""));
         let _ = std::fs::remove_file(&path);
     }
 }

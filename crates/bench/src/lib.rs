@@ -15,6 +15,16 @@ pub mod benchcmd;
 pub mod parallel;
 pub mod profile;
 
+/// The query-backend vocabulary accepted by the `--backend` filter of
+/// `rmd bench` and `rmd profile`, in profile-report order.
+pub const BACKEND_NAMES: [&str; 5] = [
+    "discrete",
+    "bitvec",
+    "compiled",
+    "modulo_discrete",
+    "modulo_bitvec",
+];
+
 /// One column of a paper Table 1–4 style report.
 #[derive(Clone, Debug, Serialize)]
 pub struct ColumnStats {
@@ -244,6 +254,11 @@ pub struct CounterSummary {
     pub weighted_avg: f64,
     /// Optimistic→update transitions.
     pub transitions: u64,
+    /// Batched window queries issued (the scalar-equivalent work they
+    /// replace is already folded into `check_calls`/`check_avg`).
+    pub check_window_calls: u64,
+    /// Backend word loads performed by the batched scans.
+    pub check_window_loads: u64,
 }
 
 impl From<&WorkCounters> for CounterSummary {
@@ -257,6 +272,8 @@ impl From<&WorkCounters> for CounterSummary {
             free_avg: w.free.avg(),
             weighted_avg: w.weighted_avg_units(),
             transitions: w.transitions,
+            check_window_calls: w.check_window.calls,
+            check_window_loads: w.check_window.units,
         }
     }
 }
@@ -330,10 +347,31 @@ pub fn run_suite_runs(
     repr: Representation,
     budget_ratio: f64,
 ) -> Vec<LoopRun> {
-    let ims = IterativeModuloScheduler::new(ImsConfig {
-        budget_ratio,
-        ..ImsConfig::default()
-    });
+    run_suite_runs_with(
+        machine,
+        mii_machine,
+        loops,
+        repr,
+        ImsConfig {
+            budget_ratio,
+            ..ImsConfig::default()
+        },
+    )
+}
+
+/// [`run_suite_runs`] with full control over the scheduler
+/// configuration — the hook the slot-search identity tests and the
+/// `query_window` bench use to pit [`rmd_sched::SlotSearch::PerCycle`]
+/// against [`rmd_sched::SlotSearch::Window`] on otherwise identical
+/// runs.
+pub fn run_suite_runs_with(
+    machine: &MachineDescription,
+    mii_machine: &MachineDescription,
+    loops: &[Loop],
+    repr: Representation,
+    config: ImsConfig,
+) -> Vec<LoopRun> {
+    let ims = IterativeModuloScheduler::new(config);
     let mut cache = mask_cache_for(machine, repr);
     loops
         .iter()
@@ -487,6 +525,7 @@ pub fn write_record<T: Serialize>(id: &str, record: &T) {
 mod tests {
     use super::*;
     use rmd_machine::models::{cydra5_subset, mips_r3000};
+    use rmd_sched::SlotSearch;
 
     #[test]
     fn distribution_basics() {
@@ -519,5 +558,65 @@ mod tests {
         assert_eq!(stats.loops, 25);
         assert!(stats.at_mii > 0.5, "at_mii = {}", stats.at_mii);
         assert!(stats.counters.check_calls > 0);
+    }
+
+    /// `runs` with the `check_window` counter zeroed — every other field
+    /// must match bit-for-bit between slot-search strategies.
+    fn sans_window_counter(runs: &[LoopRun]) -> Vec<LoopRun> {
+        let mut out = runs.to_vec();
+        for r in &mut out {
+            r.counters.check_window = rmd_query::FnCounter::default();
+        }
+        out
+    }
+
+    #[test]
+    fn window_suite_is_byte_identical_to_per_cycle_at_all_thread_counts() {
+        let m = cydra5_subset();
+        let ops = rmd_loops::OpSet::for_cydra_subset(&m);
+        let loops = rmd_loops::suite(&ops, 24, 0xC5);
+        let repr = Representation::Bitvec(WordLayout::widest(64, m.num_resources()));
+        let per_cycle = run_suite_runs_with(
+            &m,
+            &m,
+            &loops,
+            repr,
+            ImsConfig {
+                slot_search: SlotSearch::PerCycle,
+                ..ImsConfig::default()
+            },
+        );
+        // The default path (serial and parallel) searches by window.
+        let window = run_suite_runs(&m, &m, &loops, repr, 6.0);
+        assert_eq!(sans_window_counter(&per_cycle), sans_window_counter(&window));
+        for threads in [1, 2, 8] {
+            let par = run_suite_runs_parallel(&m, &m, &loops, repr, 6.0, threads);
+            assert_eq!(window, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn window_path_loads_strictly_fewer_words_than_scalar_on_cydra5() {
+        // The counter-based perf guard (no wall-clock flakiness): on the
+        // cydra5 subset's bitvec representation the batched slot search
+        // must answer from strictly fewer backend word loads than the
+        // per-cycle scan, which by construction performs one load per
+        // mask entry probed (`check.units`).
+        let m = cydra5_subset();
+        let ops = rmd_loops::OpSet::for_cydra_subset(&m);
+        let loops = rmd_loops::suite(&ops, 24, 0xC5);
+        let repr = Representation::Bitvec(WordLayout::widest(64, m.num_resources()));
+        let runs = run_suite_runs(&m, &m, &loops, repr, 6.0);
+        let mut merged = WorkCounters::new();
+        for r in &runs {
+            merged.merge(&r.counters);
+        }
+        assert!(merged.check_window.calls > 0, "window path not exercised");
+        assert!(
+            merged.check_window.units > 0 && merged.check_window.units < merged.check.units,
+            "window loads {} vs scalar loads {}",
+            merged.check_window.units,
+            merged.check.units,
+        );
     }
 }

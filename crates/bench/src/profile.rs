@@ -36,6 +36,10 @@ pub struct ProfileOptions {
     pub loops: usize,
     /// Suite generator seed.
     pub seed: u64,
+    /// Restrict the per-backend metering to one backend (a
+    /// [`crate::BACKEND_NAMES`] entry; `None` meters all five). The CLI
+    /// validates user input before it reaches here.
+    pub backend: Option<&'static str>,
 }
 
 impl Default for ProfileOptions {
@@ -43,6 +47,7 @@ impl Default for ProfileOptions {
         ProfileOptions {
             loops: DEFAULT_PROFILE_LOOPS,
             seed: SUITE_SEED,
+            backend: None,
         }
     }
 }
@@ -158,6 +163,12 @@ fn metered_workload<Q: ContentionQuery>(
         live.push((inst, op, i));
         inst += 1;
     }
+    // Batched window scans over the filled span, so the `check_window`
+    // latency histogram and work rows show up in every profile.
+    for start in (0..cycles).step_by(64) {
+        let _ = q.check_window(OpId(start % nops), start, 64);
+        let _ = q.first_free_in(OpId((start + 1) % nops), start, 64);
+    }
     for &(id, op, c) in live.iter().rev() {
         q.free(OpInstance(id), op, c);
     }
@@ -165,33 +176,45 @@ fn metered_workload<Q: ContentionQuery>(
 
 /// Profiles the five query backends with per-function latency
 /// histograms, merging each backend's metrics into `reg` under
-/// `query.<backend>`.
-fn profile_backends(m: &MachineDescription, reg: &mut MetricRegistry) {
+/// `query.<backend>`. With a `filter` (a [`crate::BACKEND_NAMES`]
+/// entry) only that backend is metered.
+fn profile_backends(m: &MachineDescription, reg: &mut MetricRegistry, filter: Option<&str>) {
     let layout = WordLayout::widest(64, m.num_resources());
     // An II at least as long as the longest table keeps every operation
     // `fits()`-admissible in the modulo backends.
     let ii = m.max_table_length().max(1);
     let cycles = 256u32;
+    let wants = |name: &str| filter.map_or(true, |f| f == name);
 
-    let mut q = MeteredQuery::new(DiscreteModule::new(m));
-    metered_workload(&mut q, m, cycles);
-    reg.merge(&q.export_registry("query.discrete"));
+    if wants("discrete") {
+        let mut q = MeteredQuery::new(DiscreteModule::new(m));
+        metered_workload(&mut q, m, cycles);
+        reg.merge(&q.export_registry("query.discrete"));
+    }
 
-    let mut q = MeteredQuery::new(BitvecModule::new(m, layout));
-    metered_workload(&mut q, m, cycles);
-    reg.merge(&q.export_registry("query.bitvec"));
+    if wants("bitvec") {
+        let mut q = MeteredQuery::new(BitvecModule::new(m, layout));
+        metered_workload(&mut q, m, cycles);
+        reg.merge(&q.export_registry("query.bitvec"));
+    }
 
-    let mut q = MeteredQuery::new(CompiledModule::new(m, layout));
-    metered_workload(&mut q, m, cycles);
-    reg.merge(&q.export_registry("query.compiled"));
+    if wants("compiled") {
+        let mut q = MeteredQuery::new(CompiledModule::new(m, layout));
+        metered_workload(&mut q, m, cycles);
+        reg.merge(&q.export_registry("query.compiled"));
+    }
 
-    let mut q = MeteredQuery::new(ModuloDiscreteModule::new(m, ii));
-    metered_workload(&mut q, m, 2 * ii);
-    reg.merge(&q.export_registry("query.modulo_discrete"));
+    if wants("modulo_discrete") {
+        let mut q = MeteredQuery::new(ModuloDiscreteModule::new(m, ii));
+        metered_workload(&mut q, m, 2 * ii);
+        reg.merge(&q.export_registry("query.modulo_discrete"));
+    }
 
-    let mut q = MeteredQuery::new(ModuloBitvecModule::new(m, ii, layout));
-    metered_workload(&mut q, m, 2 * ii);
-    reg.merge(&q.export_registry("query.modulo_bitvec"));
+    if wants("modulo_bitvec") {
+        let mut q = MeteredQuery::new(ModuloBitvecModule::new(m, ii, layout));
+        metered_workload(&mut q, m, 2 * ii);
+        reg.merge(&q.export_registry("query.modulo_bitvec"));
+    }
 }
 
 /// Schedules `count` suite loops under tracing, merging scheduler work
@@ -244,7 +267,7 @@ pub fn profile_machine(machine: &MachineDescription, opts: &ProfileOptions) -> P
     }
 
     // 2. Per-backend latency + work-unit metering.
-    profile_backends(machine, &mut registry);
+    profile_backends(machine, &mut registry, opts.backend);
 
     // 3. Scheduler (per-II attempt spans + merged counters).
     if opts.loops > 0 && suite_supported(machine) {
@@ -535,6 +558,47 @@ mod tests {
     }
 
     #[test]
+    fn profile_meters_window_queries() {
+        let p = with_profile_lock(|| {
+            profile_machine(&example_machine(), &ProfileOptions::default())
+        });
+        for backend in ["discrete", "bitvec"] {
+            let key = format!("query.{backend}.check_window.latency_ns");
+            let h = p
+                .registry
+                .histogram(&key)
+                .unwrap_or_else(|| panic!("missing latency histogram `{key}`"));
+            assert!(h.count() > 0, "{key} is empty");
+            assert!(p.registry.counter(&format!("query.{backend}.check_window.calls")) > 0);
+        }
+        // The window rows ride along in the Table-6-style report.
+        assert!(work_rows(&p.registry)
+            .iter()
+            .any(|r| r.function == "check_window" && r.calls > 0));
+    }
+
+    #[test]
+    fn backend_filter_meters_only_the_requested_backend() {
+        let p = with_profile_lock(|| {
+            profile_machine(
+                &example_machine(),
+                &ProfileOptions {
+                    backend: Some("compiled"),
+                    ..ProfileOptions::default()
+                },
+            )
+        });
+        assert!(p.registry.counter("query.compiled.check.calls") > 0);
+        for other in ["discrete", "bitvec", "modulo_discrete", "modulo_bitvec"] {
+            assert_eq!(
+                p.registry.counter(&format!("query.{other}.check.calls")),
+                0,
+                "{other} should be filtered out"
+            );
+        }
+    }
+
+    #[test]
     fn profile_schedules_suite_loops_when_supported() {
         let p = with_profile_lock(|| {
             profile_machine(
@@ -542,6 +606,7 @@ mod tests {
                 &ProfileOptions {
                     loops: 8,
                     seed: SUITE_SEED,
+                    backend: None,
                 },
             )
         });

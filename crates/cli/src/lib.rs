@@ -180,7 +180,8 @@ pub enum Command {
         /// Escalate warnings to errors before deciding the exit code.
         deny_warnings: bool,
     },
-    /// `rmd bench [<machine>...] [--quick] [--threads N] [--out DIR]`
+    /// `rmd bench [<machine>...] [--quick] [--threads N] [--out DIR]
+    /// [--backend NAME]`
     Bench {
         /// Machines to benchmark; empty means the default pair
         /// (`fig1` + `cydra5-subset`).
@@ -193,9 +194,12 @@ pub enum Command {
         /// Output directory for `BENCH_*.json`; `None` means the
         /// current directory (the repo root, by convention).
         out: Option<String>,
+        /// Query backend for the `query_window` workload (validated
+        /// against [`rmd_bench::BACKEND_NAMES`] at parse time).
+        backend: Option<&'static str>,
     },
     /// `rmd profile <machine> [--loops N] [--format text|jsonl|chrome]
-    /// [--out FILE] [--table6]`
+    /// [--out FILE] [--table6] [--backend NAME]`
     Profile {
         /// Model name or `.mdl` path.
         machine: String,
@@ -210,6 +214,9 @@ pub enum Command {
         /// Also render the per-function work-unit table and record it
         /// under `results/`.
         table6: bool,
+        /// Meter only this query backend (validated against
+        /// [`rmd_bench::BACKEND_NAMES`] at parse time).
+        backend: Option<&'static str>,
     },
     /// `rmd models`
     Models,
@@ -316,9 +323,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut quick = false;
             let mut threads = None;
             let mut out = None;
+            let mut backend = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--quick" => quick = true,
+                    "--backend" => backend = Some(parse_backend(it.next())?),
                     "--threads" => {
                         let v = it.next().ok_or_else(|| {
                             CliError::Usage("--threads expects a positive number".to_owned())
@@ -351,6 +360,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 quick,
                 threads,
                 out,
+                backend,
             })
         }
         "profile" => {
@@ -359,8 +369,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut format = ProfileFormat::Text;
             let mut out = None;
             let mut table6 = false;
+            let mut backend = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--backend" => backend = Some(parse_backend(it.next())?),
                     "--loops" => {
                         let v = it.next().ok_or_else(|| {
                             CliError::Usage("--loops expects a number".to_owned())
@@ -396,6 +408,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 format,
                 out,
                 table6,
+                backend,
             })
         }
         "models" => Ok(Command::Models),
@@ -447,6 +460,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         other => Err(CliError::Usage(format!(
             "unknown command `{other}` (try `rmd help`)"
         ))),
+    }
+}
+
+/// Validates a `--backend` argument against the shared
+/// [`rmd_bench::BACKEND_NAMES`] vocabulary, returning the canonical
+/// static name. Unknown names are a usage error (exit 2) that lists
+/// the valid backends.
+fn parse_backend(v: Option<&String>) -> Result<&'static str, CliError> {
+    let list = rmd_bench::BACKEND_NAMES.join(", ");
+    match v {
+        None => Err(CliError::Usage(format!(
+            "--backend expects one of: {list}"
+        ))),
+        Some(v) => rmd_bench::BACKEND_NAMES
+            .iter()
+            .find(|&&n| n == v.as_str())
+            .copied()
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown backend `{v}` (valid backends: {list})"
+                ))
+            }),
     }
 }
 
@@ -627,6 +662,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             quick,
             threads,
             out: out_dir,
+            backend,
         } => {
             use rmd_bench::benchcmd;
             let specs: Vec<String> = if machines.is_empty() {
@@ -638,6 +674,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 quick: *quick,
                 threads: threads.unwrap_or_else(benchcmd::default_threads),
                 out_dir: out_dir.as_deref().unwrap_or(".").into(),
+                backend: *backend,
             };
             for spec in &specs {
                 let m = load_machine(spec)?;
@@ -683,11 +720,13 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             format,
             out: out_file,
             table6,
+            backend,
         } => {
             use rmd_bench::profile;
             let m = load_machine(machine)?;
             let opts = profile::ProfileOptions {
                 loops: loops.unwrap_or(profile::DEFAULT_PROFILE_LOOPS),
+                backend: *backend,
                 ..profile::ProfileOptions::default()
             };
             let p = profile::profile_machine(&m, &opts);
@@ -825,6 +864,8 @@ OPTIONS (bench):
     --quick                                  smaller workloads (CI smoke)
     --threads <N>                            worker threads [host cores, min 4]
     --out <DIR>                              output directory [.]
+    --backend <NAME>                         query_window workload backend
+                                             [bitvec]
 
 OPTIONS (profile):
     --loops <N>                              suite loops to schedule [64]
@@ -833,6 +874,10 @@ OPTIONS (profile):
     --table6                                 append the per-function work
                                              table and record it under
                                              results/PROFILE_<name>.json
+    --backend <NAME>                         meter only this query backend
+
+Valid --backend names: discrete, bitvec, compiled, modulo_discrete,
+modulo_bitvec; anything else is a usage error (exit 2).
 
 Bench with no machines runs the default pair (fig1, cydra5-subset) and
 writes one BENCH_<name>.json record per machine into the output
@@ -1113,20 +1158,29 @@ mod bench_tests {
     }
 
     /// One row of the bench parse table: argv, then the expected
-    /// machines / quick / threads / out fields of [`Command::Bench`].
-    type BenchRow<'a> = (&'a [&'a str], &'a [&'a str], bool, Option<usize>, Option<&'a str>);
+    /// machines / quick / threads / out / backend fields of
+    /// [`Command::Bench`].
+    type BenchRow<'a> = (
+        &'a [&'a str],
+        &'a [&'a str],
+        bool,
+        Option<usize>,
+        Option<&'a str>,
+        Option<&'static str>,
+    );
 
     #[test]
     fn parses_bench_command_lines() {
         let table: &[BenchRow] = &[
-            (&["bench"], &[], false, None, None),
-            (&["bench", "--quick"], &[], true, None, None),
-            (&["bench", "fig1"], &["fig1"], false, None, None),
+            (&["bench"], &[], false, None, None, None),
+            (&["bench", "--quick"], &[], true, None, None, None),
+            (&["bench", "fig1"], &["fig1"], false, None, None, None),
             (
                 &["bench", "fig1", "cydra5-subset", "--threads", "3"],
                 &["fig1", "cydra5-subset"],
                 false,
                 Some(3),
+                None,
                 None,
             ),
             (
@@ -1135,9 +1189,18 @@ mod bench_tests {
                 true,
                 None,
                 Some("/tmp/b"),
+                None,
+            ),
+            (
+                &["bench", "fig1", "--backend", "modulo_bitvec"],
+                &["fig1"],
+                false,
+                None,
+                None,
+                Some("modulo_bitvec"),
             ),
         ];
-        for (argv, machines, quick, threads, out) in table {
+        for (argv, machines, quick, threads, out, backend) in table {
             let c = parse_args(&args(argv)).expect("valid bench command line");
             assert_eq!(
                 c,
@@ -1146,6 +1209,7 @@ mod bench_tests {
                     quick: *quick,
                     threads: *threads,
                     out: out.map(str::to_owned),
+                    backend: *backend,
                 },
                 "{argv:?}"
             );
@@ -1160,10 +1224,21 @@ mod bench_tests {
             &["bench", "--threads", "many"][..],
             &["bench", "--out"][..],
             &["bench", "--bogus"][..],
+            &["bench", "--backend"][..],
+            &["bench", "--backend", "warp-drive"][..],
         ] {
             let e = usage_error(bad);
             assert!(matches!(e, CliError::Usage(_)), "{bad:?} -> {e:?}");
             assert_eq!(e.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_backend_lists_the_valid_names() {
+        let e = usage_error(&["bench", "--backend", "warp-drive"]);
+        let msg = e.to_string();
+        for name in rmd_bench::BACKEND_NAMES {
+            assert!(msg.contains(name), "missing `{name}` in: {msg}");
         }
     }
 
@@ -1176,6 +1251,7 @@ mod bench_tests {
             quick: true,
             threads: Some(1),
             out: None,
+            backend: None,
         })
         .expect_err("unknown machine must fail");
         assert!(matches!(e, CliError::Parse { .. }), "{e:?}");
@@ -1190,6 +1266,7 @@ mod bench_tests {
             quick: true,
             threads: Some(2),
             out: Some(dir.to_string_lossy().into_owned()),
+            backend: None,
         })
         .expect("quick bench on fig1");
         assert!(out.contains("fig1:"), "{out}");
@@ -1197,9 +1274,10 @@ mod bench_tests {
         let path = dir.join("BENCH_fig1.json");
         let body = std::fs::read_to_string(&path).expect("record written");
         assert!(rmd_bench::benchcmd::json_is_well_formed(&body), "{body}");
-        assert!(body.contains("\"schema\": \"rmd-bench/2\""), "{body}");
+        assert!(body.contains("\"schema\": \"rmd-bench/3\""), "{body}");
         assert!(body.contains("\"machine\": \"fig1\""), "{body}");
         assert!(body.contains("\"phases\""), "{body}");
+        assert!(body.contains("\"query_window\""), "{body}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }
@@ -1213,19 +1291,28 @@ mod profile_tests {
     }
 
     /// One row of the profile parse table: argv, then the expected
-    /// loops / format / out / table6 fields of [`Command::Profile`].
-    type ProfileRow<'a> = (&'a [&'a str], Option<usize>, ProfileFormat, Option<&'a str>, bool);
+    /// loops / format / out / table6 / backend fields of
+    /// [`Command::Profile`].
+    type ProfileRow<'a> = (
+        &'a [&'a str],
+        Option<usize>,
+        ProfileFormat,
+        Option<&'a str>,
+        bool,
+        Option<&'static str>,
+    );
 
     #[test]
     fn parses_profile_command_lines() {
         let rows: &[ProfileRow] = &[
-            (&["profile", "fig1"], None, ProfileFormat::Text, None, false),
+            (&["profile", "fig1"], None, ProfileFormat::Text, None, false, None),
             (
                 &["profile", "mips", "--loops", "8"],
                 Some(8),
                 ProfileFormat::Text,
                 None,
                 false,
+                None,
             ),
             (
                 &["profile", "fig1", "--format", "jsonl"],
@@ -1233,6 +1320,7 @@ mod profile_tests {
                 ProfileFormat::Jsonl,
                 None,
                 false,
+                None,
             ),
             (
                 &["profile", "fig1", "--format", "chrome", "--out", "t.json"],
@@ -1240,6 +1328,7 @@ mod profile_tests {
                 ProfileFormat::Chrome,
                 Some("t.json"),
                 false,
+                None,
             ),
             (
                 &["profile", "cydra5-subset", "--table6"],
@@ -1247,9 +1336,18 @@ mod profile_tests {
                 ProfileFormat::Text,
                 None,
                 true,
+                None,
+            ),
+            (
+                &["profile", "fig1", "--backend", "bitvec"],
+                None,
+                ProfileFormat::Text,
+                None,
+                false,
+                Some("bitvec"),
             ),
         ];
-        for (argv, loops, format, out, table6) in rows {
+        for (argv, loops, format, out, table6, backend) in rows {
             let c = parse_args(&args(argv)).expect("valid profile command line");
             assert_eq!(
                 c,
@@ -1259,6 +1357,7 @@ mod profile_tests {
                     format: *format,
                     out: out.map(str::to_owned),
                     table6: *table6,
+                    backend: *backend,
                 },
                 "argv: {argv:?}"
             );
@@ -1275,6 +1374,8 @@ mod profile_tests {
             &["profile", "fig1", "--format", "xml"][..],
             &["profile", "fig1", "--out"][..],
             &["profile", "fig1", "--bogus"][..],
+            &["profile", "fig1", "--backend"][..],
+            &["profile", "fig1", "--backend", "abacus"][..],
         ] {
             let e = parse_args(&args(argv)).expect_err("should be a usage error");
             assert_eq!(e.exit_code(), 2, "argv: {argv:?}");
@@ -1289,6 +1390,7 @@ mod profile_tests {
             format: ProfileFormat::Text,
             out: None,
             table6: false,
+            backend: None,
         })
         .expect("profile fig1");
         for phase in rmd_core::REDUCTION_PHASES {
@@ -1309,6 +1411,7 @@ mod profile_tests {
             format: ProfileFormat::Jsonl,
             out: Some(path.to_string_lossy().into_owned()),
             table6: false,
+            backend: None,
         })
         .expect("profile fig1 --format jsonl --out");
         assert!(out.contains("[wrote "), "{out}");
@@ -1331,6 +1434,7 @@ mod profile_tests {
             format: ProfileFormat::Jsonl,
             out: Some("/nonexistent-dir/trace.jsonl".into()),
             table6: false,
+            backend: None,
         })
         .expect_err("export must fail");
         assert_eq!(e.exit_code(), 7);

@@ -10,7 +10,8 @@
 use crate::metrics::MetricRegistry;
 use core::fmt;
 
-/// The four query-protocol functions (paper §7).
+/// The four query-protocol functions (paper §7), plus the batched
+/// window query layered on top of `check`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum QueryFn {
     /// `check` — contention test only.
@@ -21,15 +22,22 @@ pub enum QueryFn {
     AssignFree,
     /// `free` — release a scheduled operation's resources.
     Free,
+    /// `check_window` — batched availability query over up to 64
+    /// consecutive cycles. Units count distinct backend word loads;
+    /// the per-cycle equivalent work is charged to `check` so Table-6
+    /// columns stay comparable with the scalar path.
+    CheckWindow,
 }
 
 impl QueryFn {
-    /// All four functions, in protocol order.
-    pub const ALL: [QueryFn; 4] = [
+    /// All metered functions: the four protocol functions in protocol
+    /// order, then the derived window query.
+    pub const ALL: [QueryFn; 5] = [
         QueryFn::Check,
         QueryFn::Assign,
         QueryFn::AssignFree,
         QueryFn::Free,
+        QueryFn::CheckWindow,
     ];
 
     /// Stable snake_case name used for metric keys and reports.
@@ -39,6 +47,7 @@ impl QueryFn {
             QueryFn::Assign => "assign",
             QueryFn::AssignFree => "assign_free",
             QueryFn::Free => "free",
+            QueryFn::CheckWindow => "check_window",
         }
     }
 
@@ -49,6 +58,7 @@ impl QueryFn {
             QueryFn::Assign => "assign",
             QueryFn::AssignFree => "assign&free",
             QueryFn::Free => "free",
+            QueryFn::CheckWindow => "check_window",
         }
     }
 }
@@ -91,6 +101,14 @@ pub struct WorkCounters {
     pub assign_free: FnCounter,
     /// `free` — release a scheduled operation's resources.
     pub free: FnCounter,
+    /// `check_window` — batched window queries. Calls count windows
+    /// probed; units count distinct backend word loads. The equivalent
+    /// per-cycle work is *also* charged to `check` (via
+    /// [`charge_equivalent_checks`](Self::charge_equivalent_checks)),
+    /// so this counter is a parallel view, not a fifth column of the
+    /// paper's totals: [`total_calls`](Self::total_calls) and
+    /// [`total_units`](Self::total_units) deliberately exclude it.
+    pub check_window: FnCounter,
     /// Number of optimistic→update mode transitions (bitvector only).
     pub transitions: u64,
 }
@@ -113,6 +131,7 @@ impl WorkCounters {
             QueryFn::Assign => &self.assign,
             QueryFn::AssignFree => &self.assign_free,
             QueryFn::Free => &self.free,
+            QueryFn::CheckWindow => &self.check_window,
         }
     }
 
@@ -122,6 +141,7 @@ impl WorkCounters {
             QueryFn::Assign => &mut self.assign,
             QueryFn::AssignFree => &mut self.assign_free,
             QueryFn::Free => &mut self.free,
+            QueryFn::CheckWindow => &mut self.check_window,
         }
     }
 
@@ -148,12 +168,27 @@ impl WorkCounters {
         self.transitions += 1;
     }
 
-    /// Total calls over all functions.
+    /// Charges the `check` counter with the scalar-equivalent cost of a
+    /// window query: `calls` per-cycle probes performing `units` work
+    /// units in total. A backend's window override calls this with
+    /// exactly what the equivalent loop of `check` calls would have
+    /// recorded, keeping Table-6 work units byte-identical between the
+    /// scalar and window paths.
+    #[inline]
+    pub fn charge_equivalent_checks(&mut self, calls: u64, units: u64) {
+        self.check.calls += calls;
+        self.check.units += units;
+    }
+
+    /// Total calls over the four protocol functions. Window queries are
+    /// excluded: their scalar-equivalent cost is already folded into
+    /// `check` by [`charge_equivalent_checks`](Self::charge_equivalent_checks).
     pub fn total_calls(&self) -> u64 {
         self.check.calls + self.assign.calls + self.assign_free.calls + self.free.calls
     }
 
-    /// Total work units over all functions.
+    /// Total work units over the four protocol functions (window
+    /// queries excluded; see [`total_calls`](Self::total_calls)).
     pub fn total_units(&self) -> u64 {
         self.check.units + self.assign.units + self.assign_free.units + self.free.units
     }
@@ -179,6 +214,8 @@ impl WorkCounters {
         self.assign_free.units += other.assign_free.units;
         self.free.calls += other.free.calls;
         self.free.units += other.free.units;
+        self.check_window.calls += other.check_window.calls;
+        self.check_window.units += other.check_window.units;
         self.transitions += other.transitions;
     }
 
@@ -250,6 +287,31 @@ mod tests {
         assert_eq!(w.transitions, 1);
         let via_accessor: u64 = QueryFn::ALL.iter().map(|&f| w.of(f).calls).sum();
         assert_eq!(via_accessor, w.total_calls());
+        // Window-query calls are a parallel view: the equivalent scalar
+        // work is folded into `check`, so the totals exclude them.
+        w.record(QueryFn::CheckWindow, 9);
+        assert_eq!(w.check_window, FnCounter { calls: 1, units: 9 });
+        assert_eq!(w.total_calls(), 3);
+        assert_eq!(w.total_units(), 10);
+    }
+
+    #[test]
+    fn equivalent_checks_charge_the_check_counter() {
+        let mut w = WorkCounters::new();
+        w.charge_equivalent_checks(4, 6);
+        w.record(QueryFn::CheckWindow, 2);
+        assert_eq!(w.check, FnCounter { calls: 4, units: 6 });
+        assert_eq!(w.check_window, FnCounter { calls: 1, units: 2 });
+        // Byte-identity: the derived view produces the same Table-6
+        // totals as four scalar `check` calls would.
+        let mut scalar = WorkCounters::new();
+        scalar.record(QueryFn::Check, 2);
+        scalar.record(QueryFn::Check, 1);
+        scalar.record(QueryFn::Check, 2);
+        scalar.record(QueryFn::Check, 1);
+        assert_eq!(w.total_calls(), scalar.total_calls());
+        assert_eq!(w.total_units(), scalar.total_units());
+        assert_eq!(w.check, scalar.check);
     }
 
     #[test]
@@ -300,6 +362,10 @@ mod tests {
             units: next(),
         };
         w.free = FnCounter {
+            calls: next(),
+            units: next(),
+        };
+        w.check_window = FnCounter {
             calls: next(),
             units: next(),
         };

@@ -6,6 +6,7 @@ use crate::registry::{OpInstance, Registry};
 #[cfg(debug_assertions)]
 use crate::trace::{ProtocolChecker, QueryEvent};
 use crate::traits::ContentionQuery;
+use crate::window::{self, LoadCache, WindowScan};
 use rmd_machine::{MachineDescription, OpId};
 
 /// How cycle-bitvectors are packed into memory words.
@@ -177,6 +178,48 @@ impl BitvecModule {
         }
     }
 
+    /// Word-parallel window scan behind the `check_window` /
+    /// `first_free_in` overrides: probes cycles `start + i` for
+    /// `i < len` against the same per-alignment mask lists as `check`
+    /// (same early exits, so the equivalent-`check` accounting is
+    /// exact), but reloads a table word only when the previous cycle
+    /// read a different one — with `k` cycles packed per word, that is
+    /// the word-level batching the paper's layout was built for.
+    fn window_scan(&mut self, op: OpId, start: u32, len: u32, stop_at_free: bool) -> WindowScan {
+        let len = len.min(64);
+        let k = self.layout.k;
+        let mut cache = LoadCache::new();
+        let mut out = WindowScan::default();
+        for i in 0..len {
+            let Some(cycle) = start.checked_add(i) else {
+                break;
+            };
+            let (a, base) = (cycle % k, (cycle / k) as usize);
+            out.probed += 1;
+            let mut clear = true;
+            for &(off, m) in self.masks.of(op, a) {
+                out.eq_units += 1;
+                let idx = base + off as usize;
+                let w = cache.read(idx, || self.words.get(idx).copied().unwrap_or(0));
+                if w & m != 0 {
+                    clear = false;
+                    break;
+                }
+            }
+            if clear {
+                out.mask |= 1u64 << i;
+                if out.first_free.is_none() {
+                    out.first_free = Some(cycle);
+                }
+                if stop_at_free {
+                    break;
+                }
+            }
+        }
+        out.loads = cache.loads;
+        out
+    }
+
     /// OR/ANDN an op's words in or out, returning one work unit per
     /// word touched (the caller records them on its own function).
     fn word_apply(&mut self, op: OpId, cycle: u32, set: bool) -> u64 {
@@ -318,8 +361,26 @@ impl ContentionQuery for BitvecModule {
         }
     }
 
+    fn check_window(&mut self, op: OpId, start: u32, len: u32) -> u64 {
+        let s = self.window_scan(op, start, len, false);
+        s.record(&mut self.counters);
+        s.mask
+    }
+
+    fn first_free_in(&mut self, op: OpId, start: u32, len: u32) -> Option<u32> {
+        window::first_free_chunked(start, len, |s, l| {
+            let scan = self.window_scan(op, s, l, true);
+            scan.record(&mut self.counters);
+            scan.first_free
+        })
+    }
+
     fn counters(&self) -> &WorkCounters {
         &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut WorkCounters {
+        &mut self.counters
     }
 
     fn reset(&mut self) {

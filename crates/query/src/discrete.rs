@@ -174,6 +174,10 @@ impl ContentionQuery for DiscreteModule {
         &self.counters
     }
 
+    fn counters_mut(&mut self) -> &mut WorkCounters {
+        &mut self.counters
+    }
+
     fn reset(&mut self) {
         self.owner.fill(None);
         self.registry.clear();

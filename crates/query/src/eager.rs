@@ -6,6 +6,7 @@ use crate::registry::{OpInstance, Registry};
 #[cfg(debug_assertions)]
 use crate::trace::{ProtocolChecker, QueryEvent};
 use crate::traits::ContentionQuery;
+use crate::window::{self, LoadCache, WindowScan};
 use crate::WordLayout;
 use rmd_machine::{MachineDescription, OpId};
 
@@ -115,6 +116,45 @@ impl CompiledModule {
         cycle as usize * self.usages.num_resources + r as usize
     }
 
+    /// Word-parallel window scan; identical batching to
+    /// [`BitvecModule`](crate::BitvecModule) — the owner table plays no
+    /// part in `check`, so the scan is the same word walk with a
+    /// one-entry load cache.
+    fn window_scan(&mut self, op: OpId, start: u32, len: u32, stop_at_free: bool) -> WindowScan {
+        let len = len.min(64);
+        let k = self.layout.k;
+        let mut cache = LoadCache::new();
+        let mut out = WindowScan::default();
+        for i in 0..len {
+            let Some(cycle) = start.checked_add(i) else {
+                break;
+            };
+            let (a, base) = (cycle % k, (cycle / k) as usize);
+            out.probed += 1;
+            let mut clear = true;
+            for &(off, m) in self.masks.of(op, a) {
+                out.eq_units += 1;
+                let idx = base + off as usize;
+                let w = cache.read(idx, || self.words.get(idx).copied().unwrap_or(0));
+                if w & m != 0 {
+                    clear = false;
+                    break;
+                }
+            }
+            if clear {
+                out.mask |= 1u64 << i;
+                if out.first_free.is_none() {
+                    out.first_free = Some(cycle);
+                }
+                if stop_at_free {
+                    break;
+                }
+            }
+        }
+        out.loads = cache.loads;
+        out
+    }
+
     /// Clears the flag bit and owner entry of one (resource, cycle).
     fn clear_usage(&mut self, r: u32, gc: u32) {
         let s = self.slot(r, gc);
@@ -222,8 +262,26 @@ impl ContentionQuery for CompiledModule {
         }
     }
 
+    fn check_window(&mut self, op: OpId, start: u32, len: u32) -> u64 {
+        let s = self.window_scan(op, start, len, false);
+        s.record(&mut self.counters);
+        s.mask
+    }
+
+    fn first_free_in(&mut self, op: OpId, start: u32, len: u32) -> Option<u32> {
+        window::first_free_chunked(start, len, |s, l| {
+            let scan = self.window_scan(op, s, l, true);
+            scan.record(&mut self.counters);
+            scan.first_free
+        })
+    }
+
     fn counters(&self) -> &WorkCounters {
         &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut WorkCounters {
+        &mut self.counters
     }
 
     fn reset(&mut self) {

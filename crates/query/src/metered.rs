@@ -46,6 +46,7 @@ pub struct MeteredQuery<Q> {
     assign_ns: Histogram,
     assign_free_ns: Histogram,
     free_ns: Histogram,
+    check_window_ns: Histogram,
 }
 
 impl<Q> MeteredQuery<Q> {
@@ -57,6 +58,7 @@ impl<Q> MeteredQuery<Q> {
             assign_ns: Histogram::new(),
             assign_free_ns: Histogram::new(),
             free_ns: Histogram::new(),
+            check_window_ns: Histogram::new(),
         }
     }
 
@@ -77,12 +79,15 @@ impl<Q> MeteredQuery<Q> {
     }
 
     /// The latency histogram (nanoseconds per call) of one function.
+    /// For [`QueryFn::CheckWindow`] one sample covers a whole window
+    /// query, however many cycles it probed.
     pub fn latency(&self, f: QueryFn) -> &Histogram {
         match f {
             QueryFn::Check => &self.check_ns,
             QueryFn::Assign => &self.assign_ns,
             QueryFn::AssignFree => &self.assign_free_ns,
             QueryFn::Free => &self.free_ns,
+            QueryFn::CheckWindow => &self.check_window_ns,
         }
     }
 
@@ -93,6 +98,7 @@ impl<Q> MeteredQuery<Q> {
         self.assign_ns.merge(&other.assign_ns);
         self.assign_free_ns.merge(&other.assign_free_ns);
         self.free_ns.merge(&other.free_ns);
+        self.check_window_ns.merge(&other.check_window_ns);
     }
 
     #[inline]
@@ -102,6 +108,7 @@ impl<Q> MeteredQuery<Q> {
             QueryFn::Assign => &mut self.assign_ns,
             QueryFn::AssignFree => &mut self.assign_free_ns,
             QueryFn::Free => &mut self.free_ns,
+            QueryFn::CheckWindow => &mut self.check_window_ns,
         }
     }
 
@@ -151,8 +158,22 @@ impl<Q: ContentionQuery> ContentionQuery for MeteredQuery<Q> {
         self.timed(QueryFn::Free, |q| q.free(inst, op, cycle));
     }
 
+    fn check_window(&mut self, op: OpId, start: u32, len: u32) -> u64 {
+        self.timed(QueryFn::CheckWindow, |q| q.check_window(op, start, len))
+    }
+
+    fn first_free_in(&mut self, op: OpId, start: u32, len: u32) -> Option<u32> {
+        // One sample per slot search, even when the inner module chunks
+        // a long window into several `check_window`-metered scans.
+        self.timed(QueryFn::CheckWindow, |q| q.first_free_in(op, start, len))
+    }
+
     fn counters(&self) -> &WorkCounters {
         self.inner.counters()
+    }
+
+    fn counters_mut(&mut self) -> &mut WorkCounters {
+        self.inner.counters_mut()
     }
 
     fn reset(&mut self) {
@@ -161,6 +182,7 @@ impl<Q: ContentionQuery> ContentionQuery for MeteredQuery<Q> {
         self.assign_ns = Histogram::new();
         self.assign_free_ns = Histogram::new();
         self.free_ns = Histogram::new();
+        self.check_window_ns = Histogram::new();
     }
 
     fn num_scheduled(&self) -> usize {
@@ -239,6 +261,25 @@ mod tests {
         assert_eq!(reg.histogram("query.discrete.check.latency_ns").unwrap().count(), 1);
         assert_eq!(reg.counter("query.discrete.assign.calls"), 1);
         assert_eq!(reg.counter("query.discrete.check.calls"), 1);
+    }
+
+    #[test]
+    fn window_queries_record_one_latency_sample_each() {
+        let (_, mut q, b) = metered();
+        with_tracing(|| {
+            q.assign(OpInstance(0), b, 0);
+            let _ = q.check_window(b, 0, 8);
+            let _ = q.first_free_in(b, 1, 10);
+        });
+        assert_eq!(q.latency(QueryFn::CheckWindow).count(), 2);
+        // The inner module's work counters flow through untouched.
+        assert_eq!(q.counters().check_window.calls, 2);
+        let reg = q.export_registry("query.discrete");
+        assert_eq!(
+            reg.histogram("query.discrete.check_window.latency_ns").unwrap().count(),
+            2
+        );
+        assert_eq!(reg.counter("query.discrete.check_window.calls"), 2);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::compiled::{CompiledUsages, ModuloMasks};
 use crate::counters::{QueryFn, WorkCounters};
 use crate::registry::{OpInstance, Registry};
 use crate::traits::ContentionQuery;
+use crate::window::{self, LoadCache, WindowScan};
 use crate::WordLayout;
 use rmd_machine::{MachineDescription, OpId};
 use std::collections::hash_map::Entry;
@@ -193,6 +194,10 @@ impl ContentionQuery for ModuloDiscreteModule {
         &self.counters
     }
 
+    fn counters_mut(&mut self) -> &mut WorkCounters {
+        &mut self.counters
+    }
+
     fn reset(&mut self) {
         self.owner.fill(None);
         self.registry.clear();
@@ -304,6 +309,56 @@ impl ModuloBitvecModule {
         let k = self.layout.k;
         let bit = (s % k) * self.usages.num_resources as u32 + r;
         ((s / k) as usize, 1u64 << bit)
+    }
+
+    /// Word-parallel window scan over consecutive issue slots. The
+    /// per-slot mask lists come from the eagerly expanded (and possibly
+    /// [`ModuloMaskCache`]-shared) [`ModuloMasks`] arrays, so the inner
+    /// loop is the same branch-light word AND as `check`; consecutive
+    /// slots landing in one packed word share their load through a
+    /// one-entry cache.
+    fn window_scan(&mut self, op: OpId, start: u32, len: u32, stop_at_free: bool) -> WindowScan {
+        let len = len.min(64);
+        if !self.fits[op.index()] {
+            // The scalar loop records one zero-unit `check` per cycle
+            // and finds nothing; reproduce that without touching the
+            // table (only cycles representable in u32 are probed).
+            let valid = (u64::from(u32::MAX) - u64::from(start) + 1).min(u64::from(len));
+            return WindowScan {
+                probed: valid,
+                ..WindowScan::default()
+            };
+        }
+        let mut cache = LoadCache::new();
+        let mut out = WindowScan::default();
+        for i in 0..len {
+            let Some(cycle) = start.checked_add(i) else {
+                break;
+            };
+            let slot = cycle % self.ii;
+            out.probed += 1;
+            let mut clear = true;
+            for &(w, m) in self.masks.of(op, slot) {
+                out.eq_units += 1;
+                let idx = w as usize;
+                let v = cache.read(idx, || self.words[idx]);
+                if v & m != 0 {
+                    clear = false;
+                    break;
+                }
+            }
+            if clear {
+                out.mask |= 1u64 << i;
+                if out.first_free.is_none() {
+                    out.first_free = Some(cycle);
+                }
+                if stop_at_free {
+                    break;
+                }
+            }
+        }
+        out.loads = cache.loads;
+        out
     }
 }
 
@@ -425,8 +480,26 @@ impl ContentionQuery for ModuloBitvecModule {
         }
     }
 
+    fn check_window(&mut self, op: OpId, start: u32, len: u32) -> u64 {
+        let s = self.window_scan(op, start, len, false);
+        s.record(&mut self.counters);
+        s.mask
+    }
+
+    fn first_free_in(&mut self, op: OpId, start: u32, len: u32) -> Option<u32> {
+        window::first_free_chunked(start, len, |s, l| {
+            let scan = self.window_scan(op, s, l, true);
+            scan.record(&mut self.counters);
+            scan.first_free
+        })
+    }
+
     fn counters(&self) -> &WorkCounters {
         &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut WorkCounters {
+        &mut self.counters
     }
 
     fn reset(&mut self) {

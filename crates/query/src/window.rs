@@ -1,0 +1,145 @@
+//! Shared plumbing for the batched window queries
+//! ([`ContentionQuery::check_window`] /
+//! [`ContentionQuery::first_free_in`](crate::ContentionQuery::first_free_in)).
+//!
+//! The word-parallel overrides in the bitvector-backed modules all
+//! follow one shape: walk the candidate cycles of the window, consult
+//! the same per-(op, alignment) mask lists the scalar `check` uses —
+//! reproducing its early-exit unit accounting exactly — but read each
+//! reserved-table word at most once per run of consecutive cycles
+//! through a one-entry [`LoadCache`]. With `k` cycle-bitvectors packed
+//! per word, up to `k` consecutive candidates share their table word,
+//! so the batched scan performs strictly fewer loads than `k` scalar
+//! checks while answering the identical question.
+//!
+//! [`ContentionQuery::check_window`]: crate::ContentionQuery::check_window
+
+use crate::counters::{QueryFn, WorkCounters};
+
+/// Result of one window scan over up to 64 candidate cycles.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WindowScan {
+    /// Bit `i` set ⇔ cycle `start + i` is contention-free.
+    pub mask: u64,
+    /// Cycles actually probed (= the `check` calls the scalar loop
+    /// would have issued, honoring its stop-at-first-free early exit).
+    pub probed: u64,
+    /// Mask-list entries handled across the probed cycles (= the
+    /// `check` units the scalar loop would have recorded, honoring its
+    /// stop-at-first-conflict early exit per cycle).
+    pub eq_units: u64,
+    /// Distinct reserved-table word loads the batched scan performed.
+    pub loads: u64,
+    /// First contention-free cycle seen, if any.
+    pub first_free: Option<u32>,
+}
+
+impl WindowScan {
+    /// Books the scan into `counters`: the scalar-equivalent cost goes
+    /// to `check` (byte-identity with the per-cycle path) and one
+    /// `check_window` call records the actual word loads.
+    #[inline]
+    pub(crate) fn record(&self, counters: &mut WorkCounters) {
+        counters.charge_equivalent_checks(self.probed, self.eq_units);
+        counters.record(QueryFn::CheckWindow, self.loads);
+    }
+}
+
+/// One-entry cache of the most recently read reserved-table word.
+///
+/// Consecutive cycles of a window land in the same packed word `k`
+/// cycles in a row (and the mask lists are sorted by offset), so a
+/// single remembered `(index, value)` pair removes the bulk of the
+/// redundant loads without any allocation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LoadCache {
+    last: Option<(usize, u64)>,
+    /// Words actually loaded (cache misses).
+    pub loads: u64,
+}
+
+impl LoadCache {
+    pub(crate) fn new() -> Self {
+        LoadCache {
+            last: None,
+            loads: 0,
+        }
+    }
+
+    /// The word at `index`, loading through `load` only when the cache
+    /// holds a different word.
+    #[inline]
+    pub(crate) fn read(&mut self, index: usize, load: impl FnOnce() -> u64) -> u64 {
+        match self.last {
+            Some((i, w)) if i == index => w,
+            _ => {
+                let w = load();
+                self.loads += 1;
+                self.last = Some((index, w));
+                w
+            }
+        }
+    }
+}
+
+/// Drives `scan(chunk_start, chunk_len)` over `[start, start + len)` in
+/// ≤64-cycle chunks (cursor arithmetic in `u64`, so windows touching
+/// `u32::MAX` cannot overflow), returning the first free cycle any
+/// chunk reports. The closure is expected to stop at its first free
+/// cycle and to book its own counters.
+pub(crate) fn first_free_chunked(
+    start: u32,
+    len: u32,
+    mut scan: impl FnMut(u32, u32) -> Option<u32>,
+) -> Option<u32> {
+    let end = u64::from(start) + u64::from(len);
+    let mut cursor = u64::from(start);
+    while cursor < end && cursor <= u64::from(u32::MAX) {
+        let chunk = (end - cursor).min(64) as u32;
+        if let Some(t) = scan(cursor as u32, chunk) {
+            return Some(t);
+        }
+        cursor += u64::from(chunk);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_cache_dedupes_consecutive_indices() {
+        let mut c = LoadCache::new();
+        assert_eq!(c.read(3, || 7), 7);
+        assert_eq!(c.read(3, || panic!("must be served from cache")), 7);
+        assert_eq!(c.read(4, || 9), 9);
+        assert_eq!(c.read(3, || 7), 7); // one-entry: 3 was evicted
+        assert_eq!(c.loads, 3);
+    }
+
+    #[test]
+    fn chunking_covers_the_window_without_overflow() {
+        // 130 cycles → chunks of 64, 64, 2.
+        let mut calls = Vec::new();
+        let r = first_free_chunked(10, 130, |s, l| {
+            calls.push((s, l));
+            None
+        });
+        assert_eq!(r, None);
+        assert_eq!(calls, vec![(10, 64), (74, 64), (138, 2)]);
+
+        // A window ending past u32::MAX stops at the last real cycle.
+        let mut calls = Vec::new();
+        let r = first_free_chunked(u32::MAX - 2, 100, |s, l| {
+            calls.push((s, l));
+            None
+        });
+        assert_eq!(r, None);
+        assert_eq!(calls, vec![(u32::MAX - 2, 64)]);
+
+        // The first chunk reporting a hit short-circuits the rest.
+        let r = first_free_chunked(0, 200, |s, _| (s == 64).then_some(70));
+        assert_eq!(r, Some(70));
+    }
+}

@@ -1,6 +1,7 @@
 //! Overhead guard for the observability layer: with tracing disabled
-//! (the default), the `check` hot path — including the
-//! [`MeteredQuery`] wrapper — must perform **zero heap allocations**.
+//! (the default), the `check` and `check_window`/`first_free_in` hot
+//! paths — including the [`MeteredQuery`] wrapper — must perform
+//! **zero heap allocations**.
 //! Schedulers issue millions of checks per reduction, so any per-call
 //! allocation introduced by instrumentation is a real regression, not a
 //! style nit. A counting global allocator makes the claim testable.
@@ -58,6 +59,23 @@ fn check_storm<Q: ContentionQuery>(q: &mut MeteredQuery<Q>, num_ops: usize) {
     assert!(admitted > 0, "storm admitted nothing");
 }
 
+/// Issues batched window queries — `check_window` and `first_free_in` —
+/// over every op and a spread of window starts.
+fn window_storm<Q: ContentionQuery>(q: &mut MeteredQuery<Q>, num_ops: usize) {
+    let mut occupancy = 0u64;
+    for round in 0..200u32 {
+        for op in 0..num_ops {
+            let id = rmd_machine::OpId(op as u32);
+            occupancy += q.check_window(id, round % 37, 64).count_ones() as u64;
+            if q.first_free_in(id, round % 29, 32).is_some() {
+                occupancy += 1;
+            }
+        }
+    }
+    // Keep the loop observable so the optimizer cannot delete it.
+    assert!(occupancy > 0, "window storm saw no free cycles");
+}
+
 #[test]
 fn metered_check_path_does_not_allocate_when_tracing_is_off() {
     assert!(
@@ -87,6 +105,38 @@ fn metered_check_path_does_not_allocate_when_tracing_is_off() {
             assert_eq!(
                 allocs, 0,
                 "{name} check path allocated {allocs} times on `{}` with tracing off",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn metered_window_path_does_not_allocate_when_tracing_is_off() {
+    assert!(
+        !rmd_obs::is_enabled(),
+        "tracing must be off for the overhead guard"
+    );
+
+    for m in [example_machine(), mips_r3000()] {
+        let num_ops = m.num_operations();
+        let layout = WordLayout::widest(64, m.num_resources());
+
+        let mut bitvec = MeteredQuery::new(BitvecModule::new(&m, layout));
+        let mut compiled = MeteredQuery::new(CompiledModule::new(&m, layout));
+
+        // Warm-up pass: let lazy tables and counters reach steady state
+        // before measuring.
+        window_storm(&mut bitvec, num_ops);
+        window_storm(&mut compiled, num_ops);
+
+        for (name, allocs) in [
+            ("bitvec", allocations_during(|| window_storm(&mut bitvec, num_ops))),
+            ("compiled", allocations_during(|| window_storm(&mut compiled, num_ops))),
+        ] {
+            assert_eq!(
+                allocs, 0,
+                "{name} window path allocated {allocs} times on `{}` with tracing off",
                 m.name()
             );
         }

@@ -21,6 +21,20 @@ pub enum Representation {
     Bitvec(WordLayout),
 }
 
+/// How the scheduler probes the II window for a contention-free slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SlotSearch {
+    /// One [`check`](ContentionQuery::check) (or `check_with_alt`) per
+    /// candidate cycle — the paper's literal formulation.
+    PerCycle,
+    /// Batched window queries
+    /// ([`first_free_in`](ContentionQuery::first_free_in) /
+    /// [`rmd_query::first_free_with_alt`]): byte-identical schedules and
+    /// `check` accounting, answered from fewer backend word loads.
+    #[default]
+    Window,
+}
+
 /// Scheduler configuration.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct ImsConfig {
@@ -30,6 +44,8 @@ pub struct ImsConfig {
     pub budget_ratio: f64,
     /// Give up if no schedule is found at II ≤ `max_ii`.
     pub max_ii: u32,
+    /// Slot-search strategy; [`SlotSearch::Window`] by default.
+    pub slot_search: SlotSearch,
 }
 
 impl Default for ImsConfig {
@@ -37,6 +53,7 @@ impl Default for ImsConfig {
         ImsConfig {
             budget_ratio: 6.0,
             max_ii: 4096,
+            slot_search: SlotSearch::Window,
         }
     }
 }
@@ -344,17 +361,31 @@ impl IterativeModuloScheduler {
             // Slot search within one II window; with alternatives, any
             // contention-free alternative of the base op wins the slot.
             let base = g.op(v);
-            let mut found: Option<(u32, OpId)> = None;
-            for t in min_t..=max_t {
-                let hit = match groups {
-                    None => module.check(base, t).then_some(base),
-                    Some(gr) => rmd_query::check_with_alt(module, gr, base, t),
-                };
-                if let Some(op) = hit {
-                    found = Some((t, op));
-                    break;
+            let search_span = rmd_obs::span_with("sched", "slot_search", "min_t", u64::from(min_t));
+            let found: Option<(u32, OpId)> = match self.config.slot_search {
+                SlotSearch::PerCycle => {
+                    let mut found = None;
+                    for t in min_t..=max_t {
+                        let hit = match groups {
+                            None => module.check(base, t).then_some(base),
+                            Some(gr) => rmd_query::check_with_alt(module, gr, base, t),
+                        };
+                        if let Some(op) = hit {
+                            found = Some((t, op));
+                            break;
+                        }
+                    }
+                    found
                 }
-            }
+                // The window spans exactly min_t..=max_t (len = II), and
+                // the batched search stops at the first free cycle, so
+                // both strategies accept the same slot.
+                SlotSearch::Window => match groups {
+                    None => module.first_free_in(base, min_t, ii).map(|t| (t, base)),
+                    Some(gr) => rmd_query::first_free_with_alt(module, gr, base, min_t, ii),
+                },
+            };
+            drop(search_span);
             // Forced placement when the window is full (Rau: estart if
             // never scheduled or estart > prev + 1; else prev + 1); the
             // base operation is forced, evicting whatever holds it.
@@ -603,6 +634,65 @@ mod tests {
     }
 
     #[test]
+    fn window_slot_search_is_byte_identical_to_per_cycle() {
+        // The tentpole invariant: batched window queries must reproduce
+        // the scalar slot search exactly — same schedules, same work
+        // accounting — with `check_window` the only counter allowed to
+        // differ (it is new work metadata, not new work).
+        let m = cydra5_subset();
+        let mut graphs = vec![
+            chain(&m, &["load.w.0", "fadd", "store.w.0"], 8),
+            chain(
+                &m,
+                &["load.w.0", "load.w.1", "fmul", "fadd", "store.w.1"],
+                5,
+            ),
+        ];
+        // Resource pressure: forced placements and evictions exercise
+        // the full-window (found = None) path too.
+        let fadd = m.op_by_name("fadd").expect("test setup");
+        let mut pressured = DepGraph::new();
+        for _ in 0..6 {
+            pressured.add_node(fadd);
+        }
+        graphs.push(pressured);
+
+        let per_cycle_ims = IterativeModuloScheduler::new(ImsConfig {
+            slot_search: SlotSearch::PerCycle,
+            ..ImsConfig::default()
+        });
+        let window_ims = IterativeModuloScheduler::new(ImsConfig::default());
+        for (i, g) in graphs.iter().enumerate() {
+            for repr in [
+                Representation::Discrete,
+                Representation::Bitvec(WordLayout::widest(64, m.num_resources())),
+            ] {
+                let a = per_cycle_ims.schedule(g, &m, repr).expect("test setup");
+                let b = window_ims.schedule(g, &m, repr).expect("test setup");
+                let ctx = format!("graph {i}, {repr:?}");
+                assert_eq!(a.times, b.times, "{ctx}");
+                assert_eq!(a.chosen, b.chosen, "{ctx}");
+                assert_eq!(a.ii, b.ii, "{ctx}");
+                assert_eq!(a.mii, b.mii, "{ctx}");
+                assert_eq!(a.decisions, b.decisions, "{ctx}");
+                assert_eq!(a.reversed_by_resource, b.reversed_by_resource, "{ctx}");
+                assert_eq!(a.reversed_by_dependence, b.reversed_by_dependence, "{ctx}");
+                assert_eq!(a.attempts, b.attempts, "{ctx}");
+                assert_eq!(a.per_attempt_ratio, b.per_attempt_ratio, "{ctx}");
+                assert_eq!(a.counters.check, b.counters.check, "{ctx}");
+                assert_eq!(a.counters.assign, b.counters.assign, "{ctx}");
+                assert_eq!(a.counters.assign_free, b.counters.assign_free, "{ctx}");
+                assert_eq!(a.counters.free, b.counters.free, "{ctx}");
+                assert_eq!(a.counters.transitions, b.counters.transitions, "{ctx}");
+                // The scalar path never issues window queries; the
+                // window path meters every slot search through one.
+                assert_eq!(a.counters.check_window.calls, 0, "{ctx}");
+                assert!(b.counters.check_window.calls > 0, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
     fn budget_statistics_are_recorded() {
         let m = cydra5_subset();
         let g = chain(&m, &["load.w.0", "fadd", "store.w.0"], 8);
@@ -643,6 +733,7 @@ mod edge_tests {
         let ims = IterativeModuloScheduler::new(ImsConfig {
             budget_ratio: 6.0,
             max_ii: 2, // below ResMII: the II loop never runs
+            ..ImsConfig::default()
         });
         let e = ims.schedule(&g, &m, Representation::Discrete).unwrap_err();
         assert_eq!(e, ImsError::NoFeasibleIi { max_ii: 2 });

@@ -58,7 +58,7 @@ mod validate;
 
 pub use graph::{DepGraph, DepKind, Edge, NodeId};
 pub use ims::{
-    ImsConfig, ImsError, ImsResult, IterativeModuloScheduler, Representation,
+    ImsConfig, ImsError, ImsResult, IterativeModuloScheduler, Representation, SlotSearch,
 };
 pub use list::{schedule_trace, BoundaryOp, ListResult, ListScheduler, TraceResult};
 pub use validate::{validate, validate_list, ScheduleError};

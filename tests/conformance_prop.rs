@@ -1,8 +1,9 @@
 //! Cross-backend conformance: every contention query backend — the
 //! discrete reserved table, the bitvector table (at several packings),
 //! the eager compiled-mask module, and the forward/reverse automaton
-//! pair — must agree on **every** `check`, `assign&free`, and `free`
-//! outcome of a random query trace over a random machine.
+//! pair — must agree on **every** `check`, `check_window`,
+//! `first_free_in`, `assign&free`, and `free` outcome of a random query
+//! trace over a random machine.
 //!
 //! The paper's claim is representational: reduced reservation tables,
 //! packed bitvectors, and hazard automata all encode the same
@@ -119,6 +120,48 @@ fn replay(m: &MachineDescription, seed: u64) {
             counts.iter().all(|&c| c == counts[0]),
             "step {step}: scheduled counts diverge: {counts:?}"
         );
+
+        // Window conformance: at every step, a batched `check_window`
+        // over a random span must equal the bitmask assembled from
+        // individual `check` calls, on every backend — and the backends
+        // must agree with each other. `first_free_in` must land on the
+        // lowest set bit of that mask.
+        let wop = OpId(rng.below(nops) as u32);
+        let ws = rng.below(tmax) as u32;
+        let wlen = 1 + rng.below((tmax as u32 - ws).min(64).into()) as u32;
+        let masks: Vec<u64> = backends
+            .iter_mut()
+            .map(|(name, b)| {
+                let got = b.check_window(wop, ws, wlen);
+                let mut want = 0u64;
+                for i in 0..wlen {
+                    if b.check(wop, ws + i) {
+                        want |= 1u64 << i;
+                    }
+                }
+                assert_eq!(
+                    got, want,
+                    "step {step}: {name} check_window({wop:?}, {ws}, {wlen}) = \
+                     {got:#x} but scalar checks assemble {want:#x}"
+                );
+                let first = b.first_free_in(wop, ws, wlen);
+                let expect = (want != 0).then(|| ws + want.trailing_zeros());
+                assert_eq!(
+                    first, expect,
+                    "step {step}: {name} first_free_in({wop:?}, {ws}, {wlen}) \
+                     disagrees with its own window mask {want:#x}"
+                );
+                got
+            })
+            .collect();
+        for (i, &mask) in masks.iter().enumerate() {
+            assert_eq!(
+                masks[0], mask,
+                "step {step}: check_window({wop:?}, {ws}, {wlen}) disagrees \
+                 between {} and {}",
+                backends[0].0, backends[i].0
+            );
+        }
     }
 
     // Exhaustive sweep: after the trace, every (op, cycle) check must
