@@ -5,13 +5,16 @@
 //! machine-readable `BENCH_<name>.json` record — the perf trajectory
 //! every later optimization PR is judged against.
 //!
-//! Record schema (`"schema": "rmd-bench/3"`): see the field docs on
+//! Record schema (`"schema": "rmd-bench/4"`): see the field docs on
 //! [`BenchRecord`] and the schema note in the repository README.
 //! Schema 2 added the `phases` section — per-phase wall-clock of one
 //! traced reduction run (see [`crate::profile::PhaseTiming`]). Schema 3
-//! adds the `query_window` section — batched window queries vs the
+//! added the `query_window` section — batched window queries vs the
 //! scalar per-cycle scan (see [`QueryWindowBench`]) — and the
-//! `check_window` fields of [`crate::CounterSummary`].
+//! `check_window` fields of [`crate::CounterSummary`]. Schema 4 adds
+//! the `serve` section — the `rmd serve` daemon load-driver workload
+//! (see [`ServeBench`]); the CLI fills it in, so records written by
+//! other drivers carry `"serve": null`.
 //! Timings are wall-clock milliseconds measured on whatever host ran
 //! the bench; the derived throughput numbers (`queries_per_sec`,
 //! `speedup`) are for trend-watching, not cross-host comparison.
@@ -33,7 +36,7 @@ use std::time::Instant;
 
 /// Schema tag stamped into every record; bump on breaking layout
 /// changes.
-pub const SCHEMA: &str = "rmd-bench/3";
+pub const SCHEMA: &str = "rmd-bench/4";
 
 /// Loop count of the full suite (the paper's §8 corpus).
 pub const FULL_LOOPS: usize = 1327;
@@ -96,6 +99,32 @@ pub struct BenchRecord {
     /// Loop-suite scheduling workload; `null` for machines outside the
     /// Cydra benchmark-subset vocabulary.
     pub scheduler: Option<SchedulerBench>,
+    /// `rmd serve` daemon load-driver workload (schema rmd-bench/4
+    /// addition). Plain data: the driver lives in `rmd-serve` and the
+    /// CLI glues its report in here, so this crate stays free of a
+    /// daemon dependency. `null` when the driver did not run.
+    pub serve: Option<ServeBench>,
+}
+
+/// Throughput and tail latency of an in-process `rmd serve` load run
+/// (schema rmd-bench/4). Filled in by the CLI from the `rmd-serve`
+/// load driver.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ServeBench {
+    /// Requests answered in the timed phase.
+    pub requests: u64,
+    /// Successful replies.
+    pub ok: u64,
+    /// Typed error replies.
+    pub errors: u64,
+    /// Requests shed by the bounded admission queue in the burst phase.
+    pub shed: u64,
+    /// Timed-phase throughput, requests per second.
+    pub req_per_s: f64,
+    /// Median handler latency, nanoseconds (rmd-obs histogram).
+    pub p50_ns: u64,
+    /// 99th-percentile handler latency, nanoseconds.
+    pub p99_ns: u64,
 }
 
 /// Timing of repeated full reduction sweeps (Tables 1–4 shape).
@@ -416,6 +445,7 @@ pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> Bench
             opts.backend.unwrap_or(BACKEND_NAMES[1]),
         ),
         scheduler: suite_supported(machine).then(|| scheduler_bench(machine, opts)),
+        serve: None,
     }
 }
 
@@ -698,9 +728,10 @@ mod tests {
         assert!(path.ends_with("BENCH_benchcmd-unit.json"));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(json_is_well_formed(&body));
-        assert!(body.contains("\"schema\": \"rmd-bench/3\""));
+        assert!(body.contains("\"schema\": \"rmd-bench/4\""));
         assert!(body.contains("\"phases\""));
         assert!(body.contains("\"query_window\""));
+        assert!(body.contains("\"serve\""));
         let _ = std::fs::remove_file(&path);
     }
 }

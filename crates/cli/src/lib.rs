@@ -41,6 +41,7 @@ use std::fmt::Write as _;
 /// | `Verification`   | 5         | equivalence check failed                  |
 /// | `Lint`           | 6         | lint findings at error severity           |
 /// | `Export`         | 7         | profile/trace export could not be written |
+/// | `Serve`          | 8         | daemon transport could not be set up      |
 /// | `Internal`       | 1         | unexpected pipeline failure               |
 #[derive(Clone, PartialEq, Debug)]
 #[non_exhaustive]
@@ -81,6 +82,15 @@ pub enum CliError {
         /// The underlying I/O error, rendered.
         message: String,
     },
+    /// The `rmd serve` daemon could not set up its transport (socket
+    /// bind or configuration failures). Errors on individual requests
+    /// never surface here — they are answered in-band as typed JSON
+    /// replies, and socket I/O errors on a connection are logged and
+    /// survived, never panicked on.
+    Serve {
+        /// What failed, already rendered for display.
+        message: String,
+    },
     /// An unexpected internal failure.
     Internal(String),
 }
@@ -96,6 +106,7 @@ impl CliError {
             CliError::Verification { .. } => 5,
             CliError::Lint { .. } => 6,
             CliError::Export { .. } => 7,
+            CliError::Serve { .. } => 8,
             CliError::Internal(_) => 1,
         }
     }
@@ -114,6 +125,7 @@ impl std::fmt::Display for CliError {
             CliError::Export { path, message } => {
                 write!(f, "cannot write `{path}`: {message}")
             }
+            CliError::Serve { message } => write!(f, "serve: {message}"),
             CliError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -217,6 +229,21 @@ pub enum Command {
         /// Meter only this query backend (validated against
         /// [`rmd_bench::BACKEND_NAMES`] at parse time).
         backend: Option<&'static str>,
+    },
+    /// `rmd serve [--socket PATH] [--queue N] [--deadline-ms N]
+    /// [--chaos SEED] [--metrics FILE]`
+    Serve {
+        /// Serve a unix socket at this path instead of stdin/stdout.
+        socket: Option<String>,
+        /// Admission-queue depth; requests beyond it are shed with an
+        /// `overloaded` reply.
+        queue: Option<usize>,
+        /// Default per-request deadline in milliseconds (0 disables).
+        deadline_ms: Option<u64>,
+        /// Deterministic fault-injection seed (chaos mode).
+        chaos: Option<u64>,
+        /// Write flushed metrics JSON to this file instead of stderr.
+        metrics: Option<String>,
     },
     /// `rmd models`
     Models,
@@ -409,6 +436,56 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 out,
                 table6,
                 backend,
+            })
+        }
+        "serve" => {
+            let mut socket = None;
+            let mut queue = None;
+            let mut deadline_ms = None;
+            let mut chaos = None;
+            let mut metrics = None;
+            fn num<T: std::str::FromStr>(
+                flag: &str,
+                v: Option<&String>,
+            ) -> Result<T, CliError> {
+                v.and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    CliError::Usage(format!("{flag} expects a non-negative number"))
+                })
+            }
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--socket expects a path".to_owned())
+                        })?);
+                    }
+                    "--queue" => {
+                        let n: usize = num("--queue", it.next())?;
+                        if n == 0 {
+                            return Err(CliError::Usage(
+                                "--queue must be at least 1".to_owned(),
+                            ));
+                        }
+                        queue = Some(n);
+                    }
+                    "--deadline-ms" => deadline_ms = Some(num("--deadline-ms", it.next())?),
+                    "--chaos" => chaos = Some(num("--chaos", it.next())?),
+                    "--metrics" => {
+                        metrics = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--metrics expects a file path".to_owned())
+                        })?);
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown option `{other}`")))
+                    }
+                }
+            }
+            Ok(Command::Serve {
+                socket,
+                queue,
+                deadline_ms,
+                chaos,
+                metrics,
             })
         }
         "models" => Ok(Command::Models),
@@ -679,6 +756,25 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             for spec in &specs {
                 let m = load_machine(spec)?;
                 let mut rec = benchcmd::bench_machine(&m, &opts);
+                // The serve load-driver lives in rmd-serve; glue its
+                // report into the plain-data record section here so
+                // rmd-bench stays free of a daemon dependency.
+                let load_opts = rmd_serve::LoadOptions {
+                    requests: if *quick { 32 } else { 200 },
+                    ..rmd_serve::LoadOptions::default()
+                };
+                let load = rmd_serve::run_load(&m, &load_opts).map_err(|e| {
+                    CliError::Internal(format!("serve load driver failed: {e}"))
+                })?;
+                rec.serve = Some(benchcmd::ServeBench {
+                    requests: load.requests,
+                    ok: load.ok,
+                    errors: load.errors,
+                    shed: load.shed,
+                    req_per_s: load.req_per_s,
+                    p50_ns: load.p50_ns,
+                    p99_ns: load.p99_ns,
+                });
                 // Key the record by the spec the user asked for (model
                 // name, or file stem for .mdl paths) so filenames are
                 // predictable regardless of internal machine names.
@@ -709,6 +805,16 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                         rec.threads,
                         s.speedup,
                         s.schedules_identical
+                    );
+                }
+                if let Some(s) = &rec.serve {
+                    let _ = writeln!(
+                        out,
+                        "  serve: {:.0} req/s, p50 {:.1} us, p99 {:.1} us, {} shed",
+                        s.req_per_s,
+                        s.p50_ns as f64 / 1e3,
+                        s.p99_ns as f64 / 1e3,
+                        s.shed
                     );
                 }
                 let _ = writeln!(out, "  [recorded {}]", path.display());
@@ -773,6 +879,31 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     })?;
                 let _ = writeln!(out, "[recorded {}]", path.display());
             }
+        }
+        Command::Serve {
+            socket,
+            queue,
+            deadline_ms,
+            chaos,
+            metrics,
+        } => {
+            // Replies go to stdout (stdio mode) or the socket; the run
+            // summary goes to stderr inside the daemon. Nothing is
+            // returned here so stdout stays a pure reply stream.
+            let opts = rmd_serve::ServeOptions {
+                socket: socket.as_ref().map(std::path::PathBuf::from),
+                queue_cap: queue.unwrap_or(64),
+                metrics_path: metrics.as_ref().map(std::path::PathBuf::from),
+                engine: rmd_serve::EngineConfig {
+                    default_deadline_ms: deadline_ms.unwrap_or(0),
+                    chaos: chaos.map(rmd_serve::Chaos::new),
+                    ..rmd_serve::EngineConfig::default()
+                },
+                ..rmd_serve::ServeOptions::default()
+            };
+            rmd_serve::run(&opts).map_err(|e| CliError::Serve {
+                message: e.to_string(),
+            })?;
         }
         Command::Verify { left, right } => {
             let a = load_machine(left)?;
@@ -849,6 +980,7 @@ USAGE:
     rmd lint   <machine> [options]           lint the description
     rmd bench  [<machine>...] [options]      perf workloads -> BENCH_*.json
     rmd profile <machine> [options]          traced run -> phase/latency report
+    rmd serve  [options]                     line-JSON scheduling daemon
     rmd models                               list built-in models
 
 OPTIONS (reduce):
@@ -876,6 +1008,19 @@ OPTIONS (profile):
                                              results/PROFILE_<name>.json
     --backend <NAME>                         meter only this query backend
 
+OPTIONS (serve):
+    --socket <PATH>                          serve a unix socket instead of
+                                             stdin/stdout
+    --queue <N>                              admission-queue depth [64];
+                                             overflow is shed with a typed
+                                             `overloaded` reply
+    --deadline-ms <N>                        default per-request deadline
+                                             [0 = none]
+    --chaos <SEED>                           deterministic fault injection
+                                             (corrupt/slow/panic ~1/10 each)
+    --metrics <FILE>                         write flushed rmd-obs metrics
+                                             JSON here [stderr]
+
 Valid --backend names: discrete, bitvec, compiled, modulo_discrete,
 modulo_bitvec; anything else is a usage error (exit 2).
 
@@ -890,6 +1035,11 @@ failures (--out / --table6) exit with code 7.
 
 Lint exits 0 when no error-severity findings remain and 6 otherwise;
 the report is always printed on stdout.
+
+Serve answers every request in-band with a typed JSON reply and exits 0
+on a graceful drain (SIGTERM, EOF, or a `shutdown` request); only
+transport setup failures (e.g. the socket path cannot be bound) exit
+with code 8.
 
 <machine> is a built-in model name (fig1, mips, alpha, cydra5,
 cydra5-subset) or a path to an .mdl file.
@@ -930,6 +1080,67 @@ mod tests {
             Err(e) => e,
             Ok(c) => unreachable!("expected a usage error, parsed {c:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve_with_options() {
+        let c = parse_args(&args(&[
+            "serve",
+            "--socket",
+            "/tmp/rmd.sock",
+            "--queue",
+            "8",
+            "--deadline-ms",
+            "250",
+            "--chaos",
+            "197",
+            "--metrics",
+            "metrics.json",
+        ]))
+        .expect("valid command line");
+        assert_eq!(
+            c,
+            Command::Serve {
+                socket: Some("/tmp/rmd.sock".into()),
+                queue: Some(8),
+                deadline_ms: Some(250),
+                chaos: Some(197),
+                metrics: Some("metrics.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_serve_usage_with_exit_code_2() {
+        for bad in [
+            &["serve", "--socket"][..],
+            &["serve", "--queue", "0"],
+            &["serve", "--queue", "many"],
+            &["serve", "--deadline-ms", "-1"],
+            &["serve", "--chaos"],
+            &["serve", "--metrics"],
+            &["serve", "--nope"],
+        ] {
+            let e = usage_error(bad);
+            assert_eq!(e.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_transport_failure_exits_8() {
+        // Binding a socket inside a directory that does not exist is a
+        // transport setup failure — the only path to exit code 8. The
+        // CLI reports it as a typed error instead of panicking.
+        let cmd = Command::Serve {
+            socket: Some("/nonexistent-dir/rmd.sock".into()),
+            queue: None,
+            deadline_ms: None,
+            chaos: None,
+            metrics: None,
+        };
+        let e = run(&cmd).expect_err("bind must fail");
+        assert_eq!(e.exit_code(), 8);
+        assert!(matches!(e, CliError::Serve { .. }), "{e:?}");
     }
 
     #[test]
@@ -1274,7 +1485,7 @@ mod bench_tests {
         let path = dir.join("BENCH_fig1.json");
         let body = std::fs::read_to_string(&path).expect("record written");
         assert!(rmd_bench::benchcmd::json_is_well_formed(&body), "{body}");
-        assert!(body.contains("\"schema\": \"rmd-bench/3\""), "{body}");
+        assert!(body.contains("\"schema\": \"rmd-bench/4\""), "{body}");
         assert!(body.contains("\"machine\": \"fig1\""), "{body}");
         assert!(body.contains("\"phases\""), "{body}");
         assert!(body.contains("\"query_window\""), "{body}");

@@ -2,7 +2,8 @@
 //!
 //! Exit codes: 0 success, 1 internal error, 2 usage, 3 parse,
 //! 4 validation, 5 verification failure, 6 lint findings at error
-//! severity (see `rmd_cli::CliError`).
+//! severity, 7 export failure, 8 serve transport failure (see
+//! `rmd_cli::CliError`).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

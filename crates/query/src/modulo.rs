@@ -13,7 +13,6 @@ use crate::traits::ContentionQuery;
 use crate::window::{self, LoadCache, WindowScan};
 use crate::WordLayout;
 use rmd_machine::{MachineDescription, OpId};
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -514,6 +513,15 @@ impl ContentionQuery for ModuloBitvecModule {
     }
 }
 
+/// One cached per-II expansion: the packed masks, the fits table, and
+/// the last-use tick driving LRU eviction.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    masks: Arc<ModuloMasks>,
+    fits: Arc<[bool]>,
+    last_use: u64,
+}
+
 /// A per-machine cache of modulo mask expansions, keyed by initiation
 /// interval.
 ///
@@ -548,9 +556,15 @@ impl ContentionQuery for ModuloBitvecModule {
 pub struct ModuloMaskCache {
     usages: Arc<CompiledUsages>,
     layout: WordLayout,
-    by_ii: HashMap<u32, (Arc<ModuloMasks>, Arc<[bool]>)>,
+    /// Per-II expansion plus the last-use tick driving LRU eviction.
+    by_ii: HashMap<u32, CacheEntry>,
+    /// Monotonic access clock for LRU ordering.
+    tick: u64,
+    /// Maximum number of cached IIs; `None` is unbounded.
+    entry_cap: Option<usize>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ModuloMaskCache {
@@ -572,8 +586,58 @@ impl ModuloMaskCache {
             usages,
             layout,
             by_ii: HashMap::new(),
+            tick: 0,
+            entry_cap: None,
             hits: 0,
             misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates an empty cache bounded to at most `cap` cached IIs
+    /// (least-recently-used expansions are evicted beyond that). A long-
+    /// running daemon uses this so the cache cannot grow without limit.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new); additionally if `cap == 0`.
+    pub fn with_cap(machine: &MachineDescription, layout: WordLayout, cap: usize) -> Self {
+        let mut c = Self::new(machine, layout);
+        c.set_entry_cap(Some(cap));
+        c
+    }
+
+    /// Sets (or removes) the entry cap, evicting least-recently-used
+    /// expansions immediately if the cache is over the new bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == Some(0)`: a cache that can hold nothing would
+    /// silently disable sharing.
+    pub fn set_entry_cap(&mut self, cap: Option<usize>) {
+        assert!(cap != Some(0), "entry cap must be at least 1");
+        self.entry_cap = cap;
+        if let Some(cap) = cap {
+            while self.by_ii.len() > cap {
+                self.evict_lru();
+            }
+        }
+    }
+
+    /// The configured entry cap, if any.
+    pub fn entry_cap(&self) -> Option<usize> {
+        self.entry_cap
+    }
+
+    /// Removes the least-recently-used expansion. Eviction only drops
+    /// the cache's own `Arc`s: modules already constructed from the
+    /// evicted expansion keep their shared masks alive and are
+    /// unaffected — eviction can never change query results, only
+    /// force a re-expansion on the next request for that II.
+    fn evict_lru(&mut self) {
+        if let Some((&ii, _)) = self.by_ii.iter().min_by_key(|(_, e)| e.last_use) {
+            self.by_ii.remove(&ii);
+            self.evictions += 1;
         }
     }
 
@@ -585,24 +649,32 @@ impl ModuloMaskCache {
     /// Panics if `ii == 0`.
     pub fn module(&mut self, ii: u32) -> ModuloBitvecModule {
         assert!(ii > 0, "initiation interval must be positive");
-        let (masks, fits) = match self.by_ii.entry(ii) {
-            Entry::Occupied(e) => {
-                self.hits += 1;
-                e.into_mut()
+        self.tick += 1;
+        let tick = self.tick;
+        let (masks, fits) = if let Some(entry) = self.by_ii.get_mut(&ii) {
+            self.hits += 1;
+            entry.last_use = tick;
+            (Arc::clone(&entry.masks), Arc::clone(&entry.fits))
+        } else {
+            self.misses += 1;
+            let masks = Arc::new(ModuloMasks::new(&self.usages, ii, self.layout.k));
+            let fits: Arc<[bool]> = compute_fits(&self.usages, ii).into();
+            if let Some(cap) = self.entry_cap {
+                while self.by_ii.len() >= cap {
+                    self.evict_lru();
+                }
             }
-            Entry::Vacant(e) => {
-                self.misses += 1;
-                let masks = Arc::new(ModuloMasks::new(&self.usages, ii, self.layout.k));
-                let fits: Arc<[bool]> = compute_fits(&self.usages, ii).into();
-                e.insert((masks, fits))
-            }
+            self.by_ii.insert(
+                ii,
+                CacheEntry {
+                    masks: Arc::clone(&masks),
+                    fits: Arc::clone(&fits),
+                    last_use: tick,
+                },
+            );
+            (masks, fits)
         };
-        ModuloBitvecModule::from_parts(
-            Arc::clone(&self.usages),
-            Arc::clone(masks),
-            Arc::clone(fits),
-            self.layout,
-        )
+        ModuloBitvecModule::from_parts(Arc::clone(&self.usages), masks, fits, self.layout)
     }
 
     /// The word layout modules from this cache use.
@@ -620,6 +692,11 @@ impl ModuloMaskCache {
         self.misses
     }
 
+    /// Expansions dropped by the LRU entry cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Number of distinct initiation intervals cached.
     pub fn num_cached(&self) -> usize {
         self.by_ii.len()
@@ -628,15 +705,17 @@ impl ModuloMaskCache {
     /// Total `(word, mask)` entries across all cached expansions — the
     /// cache's memory footprint in units of one packed word operation.
     pub fn mask_entries(&self) -> usize {
-        self.by_ii.values().map(|(m, _)| m.num_entries()).sum()
+        self.by_ii.values().map(|e| e.masks.num_entries()).sum()
     }
 
     /// Exports the cache statistics into `reg` under `prefix`:
-    /// `{prefix}.hits` / `{prefix}.misses` counters plus
-    /// `{prefix}.cached_iis` / `{prefix}.mask_entries` gauges.
+    /// `{prefix}.hits` / `{prefix}.misses` / `{prefix}.evictions`
+    /// counters plus `{prefix}.cached_iis` / `{prefix}.mask_entries`
+    /// gauges.
     pub fn export_to(&self, reg: &mut rmd_obs::MetricRegistry, prefix: &str) {
         reg.inc(&format!("{prefix}.hits"), self.hits);
         reg.inc(&format!("{prefix}.misses"), self.misses);
+        reg.inc(&format!("{prefix}.evictions"), self.evictions);
         reg.set_gauge(&format!("{prefix}.cached_iis"), self.by_ii.len() as u64);
         reg.set_gauge(&format!("{prefix}.mask_entries"), self.mask_entries() as u64);
     }
@@ -768,6 +847,90 @@ mod tests {
         assert!(q2.check(b, 1));
         q2.reset();
         assert!(q2.check(b, 0));
+    }
+
+    #[test]
+    fn lru_cap_evicts_least_recently_used() {
+        let (m, _, _) = ops();
+        let mut cache = ModuloMaskCache::with_cap(&m, WordLayout::with_k(64, 2), 2);
+        assert_eq!(cache.entry_cap(), Some(2));
+        cache.module(4);
+        cache.module(5);
+        cache.module(4); // refresh 4 → LRU is now 5
+        cache.module(8); // evicts 5
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.num_cached(), 2);
+        cache.module(4); // still cached: a hit, not a re-expansion
+        assert_eq!((cache.hits(), cache.misses()), (2, 3));
+        cache.module(5); // was evicted: re-expanded
+        assert_eq!((cache.hits(), cache.misses()), (2, 4));
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn set_entry_cap_shrinks_immediately() {
+        let (m, _, _) = ops();
+        let mut cache = ModuloMaskCache::new(&m, WordLayout::with_k(64, 2));
+        for ii in [3u32, 4, 5, 6, 7] {
+            cache.module(ii);
+        }
+        assert_eq!(cache.num_cached(), 5);
+        cache.set_entry_cap(Some(2));
+        assert_eq!(cache.num_cached(), 2);
+        assert_eq!(cache.evictions(), 3);
+        cache.set_entry_cap(None);
+        for ii in [3u32, 4, 5, 6, 7] {
+            cache.module(ii);
+        }
+        assert_eq!(cache.num_cached(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry cap must be at least 1")]
+    fn zero_entry_cap_rejected() {
+        let (m, _, _) = ops();
+        ModuloMaskCache::with_cap(&m, WordLayout::with_k(64, 2), 0);
+    }
+
+    #[test]
+    fn eviction_preserves_module_behavior() {
+        // Byte-identity under eviction at the query level: a cache with
+        // cap 1 (every alternating request evicts) hands out modules
+        // indistinguishable from fresh ones, and live modules survive
+        // eviction of the expansion they share.
+        let (m, a, b) = ops();
+        let mut cache = ModuloMaskCache::with_cap(&m, WordLayout::with_k(64, 2), 1);
+        let mut survivor = cache.module(8);
+        survivor.assign(OpInstance(0), b, 2);
+        for ii in [4u32, 8, 5, 8, 4] {
+            let mut fresh = ModuloBitvecModule::new(&m, ii, WordLayout::with_k(64, 2));
+            let mut cached = cache.module(ii);
+            let placeable = fresh.check(b, 2);
+            assert_eq!(placeable, cached.check(b, 2), "ii={ii} gate");
+            if placeable {
+                fresh.assign(OpInstance(0), b, 2);
+                cached.assign(OpInstance(0), b, 2);
+            }
+            for t in 0..(2 * ii) {
+                assert_eq!(fresh.check(a, t), cached.check(a, t), "ii={ii} a@{t}");
+                assert_eq!(fresh.check(b, t), cached.check(b, t), "ii={ii} b@{t}");
+            }
+            assert_eq!(fresh.counters(), cached.counters(), "ii={ii}");
+        }
+        // Five requests, cap 1, all alternating: every request after the
+        // first for a different II is a miss that evicted.
+        assert_eq!(cache.num_cached(), 1);
+        assert!(cache.evictions() >= 4);
+        // The module created before the churn still answers correctly
+        // from its own Arc of the (since evicted) expansion.
+        let mut fresh = ModuloBitvecModule::new(&m, 8, WordLayout::with_k(64, 2));
+        fresh.assign(OpInstance(0), b, 2);
+        for t in 0..16 {
+            assert_eq!(fresh.check(a, t), survivor.check(a, t), "survivor a@{t}");
+        }
+        let mut reg = rmd_obs::MetricRegistry::new();
+        cache.export_to(&mut reg, "mask_cache");
+        assert!(reg.counter("mask_cache.evictions") >= 4);
     }
 
     #[test]

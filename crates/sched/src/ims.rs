@@ -598,6 +598,51 @@ mod tests {
     }
 
     #[test]
+    fn lru_eviction_preserves_schedule_bytes() {
+        // An entry cap of 1 makes every II change an eviction; the
+        // schedules a daemon hands out must not depend on cache churn.
+        let m = cydra5_subset();
+        let layout = WordLayout::widest(64, m.num_resources());
+        let mut cache = ModuloMaskCache::with_cap(&m, layout, 1);
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+        let repr = Representation::Bitvec(layout);
+        // Alternate between graphs whose IIs differ so the cap-1 cache
+        // keeps evicting, and repeat each so re-expansion is exercised.
+        let fadd = m.op_by_name("fadd").expect("test setup");
+        let recurrence = {
+            let mut g = DepGraph::new();
+            let a = g.add_node(fadd);
+            let b = g.add_node(fadd);
+            g.add_edge(a, b, 7, 0, DepKind::Flow);
+            g.add_edge(b, a, 7, 1, DepKind::Flow); // RecMII 14
+            g
+        };
+        let cases: Vec<DepGraph> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    chain(&m, &["load.w.0", "fadd", "store.w.0"], 5)
+                } else {
+                    recurrence.clone()
+                }
+            })
+            .collect();
+        for g in &cases {
+            let mii = crate::mii::mii(g, &m);
+            let plain = ims.schedule_with_mii(g, &m, repr, mii).expect("test setup");
+            let cached = ims
+                .schedule_with_mii_cached(g, &m, repr, mii, &mut cache)
+                .expect("test setup");
+            assert_eq!(plain.times, cached.times);
+            assert_eq!(plain.chosen, cached.chosen);
+            assert_eq!(plain.ii, cached.ii);
+            assert_eq!(plain.decisions, cached.decisions);
+            assert_eq!(plain.counters, cached.counters);
+        }
+        assert!(cache.evictions() > 0, "cap-1 cache must have evicted");
+        assert_eq!(cache.num_cached(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "different word layout")]
     fn cached_path_rejects_layout_mismatch() {
         let m = cydra5_subset();

@@ -1,0 +1,93 @@
+//! Deterministic fault injection for the daemon (`--chaos <seed>`).
+//!
+//! Reuses the `rmd-fault` SplitMix64 generator so a given seed yields
+//! the same action sequence on every run: the soak test can replay the
+//! exact mix of corrupted frames, slow handlers, and mid-request panics
+//! and assert every recovery path fired.
+
+use rmd_fault::rng::mix_seed;
+use rmd_fault::SplitMix64;
+
+/// What the chaos layer does to one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Leave the request alone.
+    None,
+    /// Corrupt the frame before parsing (truncate mid-JSON), so the
+    /// malformed-frame recovery path runs.
+    CorruptFrame,
+    /// Sleep this many milliseconds inside the handler, so deadline
+    /// enforcement runs.
+    SlowMs(u64),
+    /// Panic inside the handler after state has been resolved, so
+    /// panic isolation and cache quarantine run.
+    Panic,
+}
+
+/// A seeded chaos plan: a pure function from request index to action.
+#[derive(Clone, Copy, Debug)]
+pub struct Chaos {
+    seed: u64,
+}
+
+/// Domain-separation tag for chaos streams (`mix_seed` base).
+const CHAOS_TAG: u64 = 0x5EF7_E0C4;
+
+impl Chaos {
+    /// A plan for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Chaos { seed }
+    }
+
+    /// The injected action for the `index`-th admitted request.
+    /// Roughly 1 in 10 requests is corrupted, 1 in 10 slowed, and
+    /// 1 in 10 panics; the rest pass through untouched.
+    pub fn action(&self, index: u64) -> ChaosAction {
+        let mut rng = SplitMix64::new(mix_seed(self.seed, CHAOS_TAG, index));
+        match rng.below(10) {
+            0 => ChaosAction::CorruptFrame,
+            1 => ChaosAction::SlowMs(5 + rng.below(20)),
+            2 => ChaosAction::Panic,
+            _ => ChaosAction::None,
+        }
+    }
+
+    /// Truncates a frame to its first half, yielding (for any frame of
+    /// more than two bytes) JSON that no longer parses.
+    pub fn corrupt(line: &str) -> String {
+        let cut = line.len() / 2;
+        let mut cut = cut.min(line.len());
+        // Stay on a char boundary so the result is still a &str.
+        while cut > 0 && !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        line[..cut].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_mixed() {
+        let c = Chaos::new(0xC5);
+        let first: Vec<ChaosAction> = (0..200).map(|i| c.action(i)).collect();
+        let again: Vec<ChaosAction> = (0..200).map(|i| c.action(i)).collect();
+        assert_eq!(first, again);
+        assert!(first.contains(&ChaosAction::CorruptFrame));
+        assert!(first.contains(&ChaosAction::Panic));
+        assert!(first.iter().any(|a| matches!(a, ChaosAction::SlowMs(_))));
+        assert!(first.contains(&ChaosAction::None));
+        let other: Vec<ChaosAction> = (0..200).map(|i| Chaos::new(0xC6).action(i)).collect();
+        assert_ne!(first, other, "different seeds must differ");
+    }
+
+    #[test]
+    fn corrupt_truncates_json() {
+        let line = r#"{"type":"status","id":123456}"#;
+        let bad = Chaos::corrupt(line);
+        assert!(serde_json::from_str(&bad).is_err());
+        assert!(Chaos::corrupt("ab").len() <= 1);
+    }
+}

@@ -1,0 +1,858 @@
+//! The request engine: all protocol semantics, no I/O.
+//!
+//! [`ServeEngine::handle_line`] takes one frame and returns one reply
+//! line — the daemon loop in [`crate::daemon`] only does framing,
+//! admission control, and shutdown around it, and the bench load
+//! driver and the soak tests drive it directly. Every request runs
+//! under [`std::panic::catch_unwind`]: a panicking request yields a
+//! typed `panicked` reply and *quarantines* the cached machine entry
+//! it touched, so no partially mutated state survives into later
+//! requests. Results are byte-identical to offline scheduling on the
+//! same inputs — caching, eviction, and degradation change
+//! availability and latency, never schedules.
+
+use crate::chaos::{Chaos, ChaosAction};
+use crate::error::ServeError;
+use crate::fingerprint::fingerprint;
+use crate::proto::{
+    parse_frame, EdgeSpec, Frame, MachineSource, ReplyBuilder, Request, DEFAULT_MAX_FRAME_BYTES,
+};
+use rmd_core::{reduce_with_fallback, FallbackEvent, Limits, Objective, ReduceOptions, RmdError};
+use rmd_machine::{mdl, models, MachineDescription};
+use rmd_obs::MetricRegistry;
+use rmd_query::{ModuloMaskCache, WordLayout};
+use rmd_sched::{mii::mii, DepGraph, ImsConfig, ImsError, IterativeModuloScheduler, Representation};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`ServeEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Maximum machines cached at once (LRU beyond that).
+    pub machine_cap: usize,
+    /// Entry cap for each machine's [`ModuloMaskCache`].
+    pub mask_cache_cap: usize,
+    /// Deadline applied when a request names none; `0` disables.
+    pub default_deadline_ms: u64,
+    /// Worker-thread cap for suite requests.
+    pub max_threads: usize,
+    /// Per-frame size limit in bytes.
+    pub max_frame_bytes: usize,
+    /// Deterministic fault injection, when enabled.
+    pub chaos: Option<Chaos>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            machine_cap: 8,
+            mask_cache_cap: 64,
+            default_deadline_ms: 0,
+            max_threads: 8,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            chaos: None,
+        }
+    }
+}
+
+/// Loops scheduled between deadline checks in a suite request.
+const SUITE_DEADLINE_CHUNK: usize = 32;
+
+/// A cached machine: the description to schedule against plus the
+/// shared (LRU-bounded) mask cache for it.
+struct MachineEntry {
+    original: MachineDescription,
+    /// The verified reduced machine, or the original after a fallback.
+    sched_machine: MachineDescription,
+    layout: WordLayout,
+    mask_cache: ModuloMaskCache,
+    fallback: Option<&'static str>,
+    last_used: u64,
+}
+
+/// The deadline attached to one request.
+#[derive(Clone, Copy, Debug)]
+struct Deadline {
+    at: Option<Instant>,
+    ms: u64,
+}
+
+impl Deadline {
+    fn none() -> Self {
+        Deadline { at: None, ms: 0 }
+    }
+
+    fn check(&self) -> Result<(), ServeError> {
+        match self.at {
+            Some(at) if Instant::now() > at => Err(ServeError::Timeout {
+                deadline_ms: self.ms,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The fault-isolated request engine. One instance per daemon; it is
+/// driven from a single thread and fans suite work out through the
+/// `rmd-bench` parallel engine internally.
+pub struct ServeEngine {
+    cfg: EngineConfig,
+    machines: HashMap<String, MachineEntry>,
+    tick: u64,
+    req_index: u64,
+    metrics: MetricRegistry,
+    started: Instant,
+    draining: bool,
+    /// Fingerprint the currently executing request resolved; read back
+    /// for quarantine when the request panics.
+    touched: Option<String>,
+}
+
+impl ServeEngine {
+    /// A fresh engine.
+    pub fn new(cfg: EngineConfig) -> Self {
+        ServeEngine {
+            cfg,
+            machines: HashMap::new(),
+            tick: 0,
+            req_index: 0,
+            metrics: MetricRegistry::new(),
+            started: Instant::now(),
+            draining: false,
+            touched: None,
+        }
+    }
+
+    /// The engine's metric registry (counters, latency histograms).
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// Counter accessor for summaries.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter(name)
+    }
+
+    /// Marks the engine as draining: subsequent requests are answered
+    /// with `shutting_down` (the daemon still drains what was admitted
+    /// before the flag flipped — it calls this only for frames read
+    /// *after* shutdown began).
+    pub fn set_draining(&mut self, v: bool) {
+        self.draining = v;
+    }
+
+    /// Records `n` requests shed by the daemon's admission queue.
+    pub fn record_shed(&mut self, n: u64) {
+        if n > 0 {
+            self.metrics.inc("serve.shed", n);
+        }
+    }
+
+    /// Handles one frame. Returns the reply line (no newline) and
+    /// whether the request asked the daemon to begin a graceful drain.
+    ///
+    /// Never panics: request execution runs under `catch_unwind`, and a
+    /// panic quarantines whatever cached machine the request touched.
+    pub fn handle_line(&mut self, line: &str, admitted_at: Instant) -> (String, bool) {
+        let idx = self.req_index;
+        self.req_index += 1;
+        self.metrics.inc("serve.requests", 1);
+
+        let action = match self.cfg.chaos {
+            Some(c) => c.action(idx),
+            None => ChaosAction::None,
+        };
+        let corrupted;
+        let line = if action == ChaosAction::CorruptFrame {
+            self.metrics.inc("serve.chaos.corrupted", 1);
+            corrupted = Chaos::corrupt(line);
+            &corrupted
+        } else {
+            line
+        };
+
+        let frame = parse_frame(line, self.cfg.max_frame_bytes);
+        let id = frame.id.clone();
+        let (reply, shutdown) = self.handle_frame(frame, admitted_at, action);
+        let reply = match reply {
+            Ok(r) => {
+                self.metrics.inc("serve.ok", 1);
+                r
+            }
+            Err(e) => {
+                self.metrics.inc("serve.errors", 1);
+                self.metrics.inc(&format!("serve.errors.{}", e.kind()), 1);
+                e.to_reply(id.as_deref())
+            }
+        };
+        let elapsed = admitted_at.elapsed().as_nanos() as u64;
+        self.metrics.observe("serve.latency_ns", elapsed);
+        (reply, shutdown)
+    }
+
+    fn handle_frame(
+        &mut self,
+        frame: Frame,
+        admitted_at: Instant,
+        action: ChaosAction,
+    ) -> (Result<String, ServeError>, bool) {
+        if self.draining {
+            return (Err(ServeError::ShuttingDown), false);
+        }
+        let req = match frame.body {
+            Ok(r) => r,
+            Err(e) => return (Err(e), false),
+        };
+        let deadline_ms = frame.deadline_ms.unwrap_or(self.cfg.default_deadline_ms);
+        let deadline = if deadline_ms == 0 {
+            Deadline::none()
+        } else {
+            Deadline {
+                at: Some(admitted_at + Duration::from_millis(deadline_ms)),
+                ms: deadline_ms,
+            }
+        };
+        // Time spent queued counts against the deadline.
+        if let Err(e) = deadline.check() {
+            return (Err(e), false);
+        }
+        let shutdown = matches!(req, Request::Shutdown);
+        let id = frame.id.as_deref();
+        let ty = match &req {
+            Request::Machine { .. } => "machine",
+            Request::Schedule { .. } => "schedule",
+            Request::Suite { .. } => "suite",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+        };
+        self.touched = None;
+        let id_owned = id.map(str::to_string);
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.execute(req, id_owned.as_deref(), deadline, action)
+        }));
+        self.metrics.observe(
+            &format!("serve.latency_ns.{ty}"),
+            t0.elapsed().as_nanos() as u64,
+        );
+        match outcome {
+            Ok(r) => (r, shutdown),
+            Err(payload) => {
+                // Quarantine: drop the entry this request touched so a
+                // partial mutation can never serve a later request.
+                if let Some(fp) = self.touched.take() {
+                    if self.machines.remove(&fp).is_some() {
+                        self.metrics.inc("serve.quarantined", 1);
+                    }
+                }
+                let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                (Err(ServeError::Panicked { detail }), false)
+            }
+        }
+    }
+
+    fn execute(
+        &mut self,
+        req: Request,
+        id: Option<&str>,
+        deadline: Deadline,
+        action: ChaosAction,
+    ) -> Result<String, ServeError> {
+        // Chaos slow handler: burn wall-clock before doing the work so
+        // deadline enforcement has something to catch.
+        if let ChaosAction::SlowMs(ms) = action {
+            self.metrics.inc("serve.chaos.slowed", 1);
+            std::thread::sleep(Duration::from_millis(ms));
+            deadline.check()?;
+        }
+        match req {
+            Request::Machine {
+                source,
+                strict,
+                max_steps,
+            } => self.exec_machine(id, source, strict, max_steps, deadline, action),
+            Request::Schedule {
+                fingerprint,
+                nodes,
+                edges,
+                budget_ratio,
+                max_ii,
+            } => self.exec_schedule(id, &fingerprint, &nodes, &edges, budget_ratio, max_ii, deadline, action),
+            Request::Suite {
+                fingerprint,
+                loops,
+                seed,
+                threads,
+            } => self.exec_suite(id, &fingerprint, loops, seed, threads, deadline, action),
+            Request::Status => Ok(self.exec_status(id)),
+            Request::Shutdown => Ok(ReplyBuilder::ok(id, "shutdown")
+                .bool("draining", true)
+                .finish()),
+        }
+    }
+
+    fn chaos_panic_point(&mut self, action: ChaosAction) {
+        if action == ChaosAction::Panic {
+            self.metrics.inc("serve.chaos.panicked", 1);
+            panic!("chaos: injected mid-request panic");
+        }
+    }
+
+    fn load_source(&self, source: &MachineSource) -> Result<MachineDescription, ServeError> {
+        let m = match source {
+            MachineSource::Model(name) => match name.as_str() {
+                "fig1" => models::example_machine(),
+                "mips" => models::mips_r3000(),
+                "alpha" => models::alpha21064(),
+                "cydra5" => models::cydra5(),
+                "cydra5-subset" => models::cydra5_subset(),
+                other => {
+                    return Err(ServeError::BadRequest {
+                        detail: format!("unknown built-in model {other:?}"),
+                    })
+                }
+            },
+            MachineSource::Mdl(src) => {
+                let (m, _) = mdl::parse_machine(src)
+                    .map_err(|e| ServeError::Rmd(RmdError::Parse(e)))?;
+                m
+            }
+        };
+        Limits::default()
+            .validate(&m)
+            .map_err(ServeError::Rmd)?;
+        Ok(m)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_machine(
+        &mut self,
+        id: Option<&str>,
+        source: MachineSource,
+        strict: bool,
+        max_steps: Option<u64>,
+        deadline: Deadline,
+        action: ChaosAction,
+    ) -> Result<String, ServeError> {
+        let m = self.load_source(&source)?;
+        let fp = fingerprint(&m);
+        self.touched = Some(fp.clone());
+        self.chaos_panic_point(action);
+        if let Some(entry) = self.machines.get_mut(&fp) {
+            self.tick += 1;
+            entry.last_used = self.tick;
+            let reply = ReplyBuilder::ok(id, "machine")
+                .str("fingerprint", &fp)
+                .bool("cached", true)
+                .bool("fallback", entry.fallback.is_some())
+                .num("resources", entry.original.num_resources() as u64)
+                .num("reduced_resources", entry.sched_machine.num_resources() as u64)
+                .num("operations", entry.original.num_operations() as u64)
+                .finish();
+            return Ok(reply);
+        }
+        deadline.check()?;
+        let layout = WordLayout::widest(64, m.num_resources());
+        let options = ReduceOptions {
+            limits: Limits::default(),
+            max_steps,
+        };
+        let red = reduce_with_fallback(&m, Objective::KCycleWord { k: layout.k }, &options);
+        if strict {
+            if let Some(ev) = &red.fallback {
+                return Err(ServeError::Rmd(ev.error().clone()));
+            }
+        }
+        deadline.check()?;
+        let fallback = red.fallback.as_ref().map(|ev| match ev {
+            FallbackEvent::ReductionFailed(_) => "reduction_failed",
+            FallbackEvent::VerificationFailed(_) => "verification_failed",
+            _ => "fallback",
+        });
+        let sched_machine = red.machine;
+        let sched_layout = WordLayout::widest(64, sched_machine.num_resources());
+        let mask_cache =
+            ModuloMaskCache::with_cap(&sched_machine, sched_layout, self.cfg.mask_cache_cap);
+        self.tick += 1;
+        let entry = MachineEntry {
+            original: m,
+            sched_machine,
+            layout: sched_layout,
+            mask_cache,
+            fallback,
+            last_used: self.tick,
+        };
+        // Bound the machine cache itself: evict the least recently
+        // used entry (mask caches and all) beyond the cap.
+        while self.machines.len() >= self.cfg.machine_cap {
+            if let Some(lru) = self
+                .machines
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.machines.remove(&lru);
+                self.metrics.inc("serve.machine_evictions", 1);
+            } else {
+                break;
+            }
+        }
+        let reply = ReplyBuilder::ok(id, "machine")
+            .str("fingerprint", &fp)
+            .bool("cached", false)
+            .bool("fallback", entry.fallback.is_some())
+            .num("resources", entry.original.num_resources() as u64)
+            .num("reduced_resources", entry.sched_machine.num_resources() as u64)
+            .num("operations", entry.original.num_operations() as u64)
+            .finish();
+        self.machines.insert(fp, entry);
+        self.metrics
+            .set_gauge("serve.machines_cached", self.machines.len() as u64);
+        Ok(reply)
+    }
+
+    fn lookup(&mut self, fp: &str) -> Result<(), ServeError> {
+        if self.machines.contains_key(fp) {
+            self.tick += 1;
+            let tick = self.tick;
+            if let Some(e) = self.machines.get_mut(fp) {
+                e.last_used = tick;
+            }
+            self.touched = Some(fp.to_string());
+            Ok(())
+        } else {
+            Err(ServeError::UnknownFingerprint { got: fp.to_string() })
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_schedule(
+        &mut self,
+        id: Option<&str>,
+        fp: &str,
+        nodes: &[String],
+        edges: &[EdgeSpec],
+        budget_ratio: Option<f64>,
+        max_ii: Option<u32>,
+        deadline: Deadline,
+        action: ChaosAction,
+    ) -> Result<String, ServeError> {
+        self.lookup(fp)?;
+        self.chaos_panic_point(action);
+        let defaults = ImsConfig::default();
+        let config = ImsConfig {
+            budget_ratio: budget_ratio.unwrap_or(defaults.budget_ratio),
+            max_ii: max_ii.unwrap_or(defaults.max_ii),
+            ..defaults
+        };
+        let entry = self.machines.get_mut(fp).expect("looked up above");
+        let g = build_graph(&entry.original, nodes, edges)?;
+        deadline.check()?;
+        let lower = mii(&g, &entry.original);
+        let ims = IterativeModuloScheduler::new(config);
+        let r = ims
+            .schedule_with_mii_cached(
+                &g,
+                &entry.sched_machine,
+                Representation::Bitvec(entry.layout),
+                lower,
+                &mut entry.mask_cache,
+            )
+            .map_err(|e| match e {
+                ImsError::NoFeasibleIi { max_ii } => {
+                    ServeError::Rmd(RmdError::Unschedulable { max_ii })
+                }
+                other => ServeError::BadRequest {
+                    detail: format!("scheduler error: {other}"),
+                },
+            })?;
+        deadline.check()?;
+        Ok(ReplyBuilder::ok(id, "schedule")
+            .str("fingerprint", fp)
+            .num("ii", u64::from(r.ii))
+            .num("mii", u64::from(r.mii))
+            .num("decisions", r.decisions)
+            .num("attempts", u64::from(r.attempts))
+            .nums("times", r.times.iter().map(|&t| u64::from(t)))
+            .finish())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_suite(
+        &mut self,
+        id: Option<&str>,
+        fp: &str,
+        loops: usize,
+        seed: u64,
+        threads: Option<usize>,
+        deadline: Deadline,
+        action: ChaosAction,
+    ) -> Result<String, ServeError> {
+        self.lookup(fp)?;
+        self.chaos_panic_point(action);
+        let threads = threads.unwrap_or(1).clamp(1, self.cfg.max_threads);
+        let entry = self.machines.get(fp).expect("looked up above");
+        // The generator vocabulary must resolve against this machine;
+        // a missing op is a client error, not a panic.
+        const SUITE_OPS: [&str; 11] = [
+            "load.w.0", "load.w.1", "store.w.0", "store.w.1", "aadd.0", "aadd.1", "fadd",
+            "fmul", "fmul.d", "iadd", "recip",
+        ];
+        for name in SUITE_OPS {
+            if entry.original.op_by_name(name).is_none() {
+                return Err(ServeError::BadRequest {
+                    detail: format!(
+                        "machine lacks op {name:?} required by the suite generator"
+                    ),
+                });
+            }
+        }
+        if entry.original.op_by_name("brtop").is_none() {
+            return Err(ServeError::BadRequest {
+                detail: "machine lacks op \"brtop\" required by the suite generator".to_string(),
+            });
+        }
+        let ops = rmd_loops::OpSet::for_cydra_subset(&entry.original);
+        let suite = rmd_loops::suite(&ops, loops, seed);
+        deadline.check()?;
+        // Dispatch in chunks through the existing parallel engine so
+        // long suites still honor their deadline between chunks.
+        let mut runs = Vec::with_capacity(suite.len());
+        for chunk in suite.chunks(SUITE_DEADLINE_CHUNK) {
+            runs.extend(rmd_bench::run_suite_runs_parallel(
+                &entry.sched_machine,
+                &entry.original,
+                chunk,
+                Representation::Bitvec(entry.layout),
+                ImsConfig::default().budget_ratio,
+                threads,
+            ));
+            deadline.check()?;
+        }
+        let at_mii = runs.iter().filter(|r| r.ii == r.mii).count();
+        let sum_ii: u64 = runs.iter().map(|r| u64::from(r.ii)).sum();
+        let digest = suite_digest(&runs);
+        Ok(ReplyBuilder::ok(id, "suite")
+            .str("fingerprint", fp)
+            .num("loops", runs.len() as u64)
+            .num("at_mii", at_mii as u64)
+            .num("sum_ii", sum_ii)
+            .num("threads", threads as u64)
+            .str("schedule_digest", &digest)
+            .finish())
+    }
+
+    fn exec_status(&mut self, id: Option<&str>) -> String {
+        ReplyBuilder::ok(id, "status")
+            .num("requests", self.metrics.counter("serve.requests"))
+            .num("ok", self.metrics.counter("serve.ok"))
+            .num("errors", self.metrics.counter("serve.errors"))
+            .num("shed", self.metrics.counter("serve.shed"))
+            .num("quarantined", self.metrics.counter("serve.quarantined"))
+            .num("machines_cached", self.machines.len() as u64)
+            .num("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .bool("draining", self.draining)
+            .finish()
+    }
+
+    /// Exports per-machine mask-cache statistics into the registry and
+    /// returns the full registry as compact JSON — called once by the
+    /// daemon when it drains.
+    pub fn flush_metrics(&mut self) -> String {
+        let mut agg = MetricRegistry::new();
+        for entry in self.machines.values() {
+            entry.mask_cache.export_to(&mut agg, "serve.mask_cache");
+        }
+        self.metrics.merge(&agg);
+        self.metrics
+            .set_gauge("serve.machines_cached", self.machines.len() as u64);
+        rmd_obs::export::registry_to_json(&self.metrics)
+    }
+}
+
+/// Builds the dependence graph of a `schedule` request, resolving node
+/// names against the submitted machine.
+fn build_graph(
+    machine: &MachineDescription,
+    nodes: &[String],
+    edges: &[EdgeSpec],
+) -> Result<DepGraph, ServeError> {
+    let mut g = DepGraph::new();
+    let mut ids = Vec::with_capacity(nodes.len());
+    for name in nodes {
+        let op = machine
+            .op_by_name(name)
+            .ok_or_else(|| ServeError::BadRequest {
+                detail: format!("machine has no operation named {name:?}"),
+            })?;
+        ids.push(g.add_node(op));
+    }
+    for e in edges {
+        g.add_edge(ids[e.from], ids[e.to], e.delay, e.distance, e.kind);
+    }
+    Ok(g)
+}
+
+/// FNV-1a digest over every loop's achieved II and issue times — a
+/// compact, order-sensitive schedule identity usable for offline
+/// byte-identity checks.
+fn suite_digest(runs: &[rmd_bench::LoopRun]) -> String {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for r in runs {
+        mix(u64::from(r.ii));
+        for &t in &r.times {
+            mix(u64::from(t));
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Computes the digest of an offline (library-level) suite run — the
+/// reference the soak test compares daemon replies against.
+pub fn offline_suite_digest(runs: &[rmd_bench::LoopRun]) -> String {
+    suite_digest(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(EngineConfig::default())
+    }
+
+    fn ok_reply(engine: &mut ServeEngine, line: &str) -> serde_json::Value {
+        let (reply, _) = engine.handle_line(line, Instant::now());
+        let v = serde_json::from_str(&reply).expect("reply is JSON");
+        assert_eq!(
+            v.get("ok").and_then(serde_json::Value::as_bool),
+            Some(true),
+            "{reply}"
+        );
+        v
+    }
+
+    fn submit_fig1(engine: &mut ServeEngine) -> String {
+        let v = ok_reply(engine, r#"{"type":"machine","model":"fig1"}"#);
+        v.get("fingerprint").and_then(|f| f.as_str()).unwrap().to_string()
+    }
+
+    #[test]
+    fn machine_then_schedule_roundtrip() {
+        let mut e = engine();
+        let fp = submit_fig1(&mut e);
+        let line = format!(
+            r#"{{"type":"schedule","fingerprint":"{fp}","nodes":["A","B"],"edges":[[0,1,2,0]],"id":1}}"#
+        );
+        let v = ok_reply(&mut e, &line);
+        let times = v.get("times").and_then(|t| t.as_array()).unwrap();
+        assert_eq!(times.len(), 2);
+        assert!(v.get("ii").and_then(|i| i.as_u64()).unwrap() >= 1);
+        assert_eq!(v.get("id").and_then(|i| i.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn schedule_matches_offline_library_result() {
+        let mut e = engine();
+        let fp = submit_fig1(&mut e);
+        let line = format!(
+            r#"{{"type":"schedule","fingerprint":"{fp}","nodes":["A","B","B"],"edges":[[0,1,2,0],[1,2,1,0]]}}"#
+        );
+        let v = ok_reply(&mut e, &line);
+
+        // Offline: same rule the engine documents — reduce with
+        // fallback under the widest layout, MII from the original,
+        // schedule on the reduced machine.
+        let m = models::example_machine();
+        let layout = WordLayout::widest(64, m.num_resources());
+        let red = reduce_with_fallback(
+            &m,
+            Objective::KCycleWord { k: layout.k },
+            &ReduceOptions::default(),
+        );
+        let sched_layout = WordLayout::widest(64, red.machine.num_resources());
+        let a = m.op_by_name("A").unwrap();
+        let b = m.op_by_name("B").unwrap();
+        let mut g = DepGraph::new();
+        let n0 = g.add_node(a);
+        let n1 = g.add_node(b);
+        let n2 = g.add_node(b);
+        g.add_edge(n0, n1, 2, 0, rmd_sched::DepKind::Flow);
+        g.add_edge(n1, n2, 1, 0, rmd_sched::DepKind::Flow);
+        let lower = mii(&g, &m);
+        let r = IterativeModuloScheduler::new(ImsConfig::default())
+            .schedule_with_mii(
+                &g,
+                &red.machine,
+                Representation::Bitvec(sched_layout),
+                lower,
+            )
+            .expect("offline schedule");
+        let got: Vec<u64> = v
+            .get("times")
+            .and_then(|t| t.as_array())
+            .unwrap()
+            .iter()
+            .map(|t| t.as_u64().unwrap())
+            .collect();
+        let want: Vec<u64> = r.times.iter().map(|&t| u64::from(t)).collect();
+        assert_eq!(got, want, "daemon schedule must be byte-identical");
+        assert_eq!(v.get("ii").and_then(|i| i.as_u64()), Some(u64::from(r.ii)));
+    }
+
+    #[test]
+    fn unknown_fingerprint_is_typed() {
+        let mut e = engine();
+        let (reply, _) = e.handle_line(
+            r#"{"type":"schedule","fingerprint":"rmd-ffff","nodes":["A"]}"#,
+            Instant::now(),
+        );
+        let v = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(false));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(|k| k.as_str()),
+            Some("unknown_fingerprint")
+        );
+        // The engine keeps serving.
+        submit_fig1(&mut e);
+    }
+
+    #[test]
+    fn expired_deadline_yields_timeout() {
+        let mut e = engine();
+        let admitted = Instant::now() - Duration::from_millis(100);
+        let (reply, _) = e.handle_line(
+            r#"{"type":"machine","model":"fig1","deadline_ms":5}"#,
+            admitted,
+        );
+        let v = serde_json::from_str(&reply).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(|k| k.as_str()),
+            Some("timeout"),
+            "{reply}"
+        );
+    }
+
+    #[test]
+    fn strict_budget_exhaustion_is_typed() {
+        let mut e = engine();
+        let (reply, _) = e.handle_line(
+            r#"{"type":"machine","model":"cydra5-subset","strict":true,"max_steps":1}"#,
+            Instant::now(),
+        );
+        let v = serde_json::from_str(&reply).unwrap();
+        let kind = v
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str())
+            .unwrap();
+        assert_eq!(kind, "budget_exhausted", "{reply}");
+        // Same request without strict falls back and succeeds.
+        let v = ok_reply(
+            &mut e,
+            r#"{"type":"machine","model":"cydra5-subset","max_steps":1}"#,
+        );
+        assert_eq!(v.get("fallback").and_then(|f| f.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn status_and_shutdown() {
+        let mut e = engine();
+        submit_fig1(&mut e);
+        let v = ok_reply(&mut e, r#"{"type":"status"}"#);
+        assert_eq!(v.get("machines_cached").and_then(|m| m.as_u64()), Some(1));
+        let (reply, shutdown) = e.handle_line(r#"{"type":"shutdown"}"#, Instant::now());
+        assert!(shutdown);
+        assert!(reply.contains("\"draining\":true"));
+        e.set_draining(true);
+        let (reply, _) = e.handle_line(r#"{"type":"status"}"#, Instant::now());
+        let v = serde_json::from_str(&reply).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(|k| k.as_str()),
+            Some("shutting_down")
+        );
+    }
+
+    #[test]
+    fn suite_runs_and_is_deterministic() {
+        let mut e = engine();
+        let v = ok_reply(&mut e, r#"{"type":"machine","model":"cydra5-subset"}"#);
+        let fp = v.get("fingerprint").and_then(|f| f.as_str()).unwrap().to_string();
+        let line =
+            format!(r#"{{"type":"suite","fingerprint":"{fp}","loops":16,"seed":7,"threads":2}}"#);
+        let a = ok_reply(&mut e, &line);
+        let b = ok_reply(&mut e, &line);
+        assert_eq!(
+            a.get("schedule_digest").and_then(|d| d.as_str()),
+            b.get("schedule_digest").and_then(|d| d.as_str())
+        );
+        assert_eq!(a.get("loops").and_then(|l| l.as_u64()), Some(16));
+    }
+
+    #[test]
+    fn machine_cache_is_bounded() {
+        let mut e = ServeEngine::new(EngineConfig {
+            machine_cap: 1,
+            ..EngineConfig::default()
+        });
+        submit_fig1(&mut e);
+        ok_reply(&mut e, r#"{"type":"machine","model":"mips"}"#);
+        assert!(e.counter("serve.machine_evictions") >= 1);
+        let v = ok_reply(&mut e, r#"{"type":"status"}"#);
+        assert_eq!(v.get("machines_cached").and_then(|m| m.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn chaos_panic_quarantines_touched_machine() {
+        // Find a seed whose action stream is: clean machine submit, a
+        // panic on the second request, then clean requests after.
+        let seed = (0u64..10_000)
+            .find(|&s| {
+                let c = Chaos::new(s);
+                c.action(0) == ChaosAction::None
+                    && c.action(1) == ChaosAction::Panic
+                    && c.action(2) == ChaosAction::None
+                    && c.action(3) == ChaosAction::None
+            })
+            .expect("a suitable chaos seed exists");
+        let mut e = ServeEngine::new(EngineConfig {
+            chaos: Some(Chaos::new(seed)),
+            ..EngineConfig::default()
+        });
+        let fp = submit_fig1(&mut e);
+        let line =
+            format!(r#"{{"type":"schedule","fingerprint":"{fp}","nodes":["A"],"id":1}}"#);
+        let (reply, _) = e.handle_line(&line, Instant::now());
+        let v = serde_json::from_str(&reply).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(|k| k.as_str()),
+            Some("panicked"),
+            "{reply}"
+        );
+        assert_eq!(e.counter("serve.quarantined"), 1);
+        // The machine the panicking request touched is quarantined...
+        let (reply, _) = e.handle_line(&line, Instant::now());
+        let v = serde_json::from_str(&reply).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(|k| k.as_str()),
+            Some("unknown_fingerprint"),
+            "{reply}"
+        );
+        // ...and resubmitting it heals the daemon in place.
+        let fp2 = submit_fig1(&mut e);
+        assert_eq!(fp, fp2);
+    }
+}

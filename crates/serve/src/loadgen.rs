@@ -1,0 +1,237 @@
+//! In-process load driver behind `rmd bench serve`.
+//!
+//! Drives a [`ServeEngine`] with a pipelined request stream for a real
+//! machine — one machine submission, then a mix of schedule requests
+//! over chain and recurrence graphs built from the machine's own
+//! operations — and reports throughput plus p50/p99 handler latency
+//! from the engine's rmd-obs histogram. A second burst phase replays a
+//! slice of the stream through the bounded admission queue with a tiny
+//! cap to exercise (and count) overload shedding.
+
+use crate::daemon::{serve_stream, ServeOptions, SharedWriter};
+use crate::engine::{EngineConfig, ServeEngine};
+use crate::error::ServeError;
+use rmd_machine::MachineDescription;
+use rmd_obs::export::push_json_string;
+use std::io::{self, Cursor, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Load-driver knobs.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Number of schedule requests in the timed phase.
+    pub requests: usize,
+    /// Admission-queue cap used by the shedding burst phase.
+    pub queue_cap: usize,
+    /// Number of frames replayed in the shedding burst phase.
+    pub burst: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            requests: 200,
+            queue_cap: 4,
+            burst: 64,
+        }
+    }
+}
+
+/// What the load run measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadReport {
+    /// Requests answered in the timed phase (machine + schedules).
+    pub requests: u64,
+    /// Successful replies in the timed phase.
+    pub ok: u64,
+    /// Typed error replies in the timed phase.
+    pub errors: u64,
+    /// Requests shed by the burst phase's bounded queue.
+    pub shed: u64,
+    /// Wall time of the timed phase, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Timed-phase throughput.
+    pub req_per_s: f64,
+    /// Median handler latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile handler latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl LoadReport {
+    /// Renders the report as a JSON object (for the bench record).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"requests\": {}", self.requests));
+        s.push_str(&format!(", \"ok\": {}", self.ok));
+        s.push_str(&format!(", \"errors\": {}", self.errors));
+        s.push_str(&format!(", \"shed\": {}", self.shed));
+        s.push_str(&format!(", \"elapsed_ns\": {}", self.elapsed_ns));
+        s.push_str(&format!(", \"req_per_s\": {:.1}", self.req_per_s));
+        s.push_str(&format!(", \"p50_ns\": {}", self.p50_ns));
+        s.push_str(&format!(", \"p99_ns\": {}", self.p99_ns));
+        s.push('}');
+        s
+    }
+}
+
+/// A reply sink that only counts lines (replies are not kept).
+#[derive(Clone, Default)]
+struct CountingSink(Arc<Mutex<u64>>);
+
+impl Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        *self.0.lock().unwrap() += buf.iter().filter(|&&b| b == b'\n').count() as u64;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn machine_line(machine: &MachineDescription) -> String {
+    let mut line = String::from("{\"type\": \"machine\", \"id\": 0, \"mdl\": ");
+    push_json_string(&mut line, &rmd_machine::mdl::print(machine));
+    line.push('}');
+    line
+}
+
+/// Builds the pipelined request stream: one machine frame, then
+/// alternating chain and recurrence schedule frames over the machine's
+/// own operations.
+fn request_lines(machine: &MachineDescription, fp: &str, n: usize) -> Vec<String> {
+    let ops: Vec<&str> = machine
+        .operations()
+        .iter()
+        .map(|op| op.name())
+        .collect();
+    let pick = |i: usize| ops[i % ops.len()];
+    let mut lines = Vec::with_capacity(n);
+    for i in 0..n {
+        let (a, b, c) = (pick(i), pick(i + 1), pick(i + 2));
+        let edges = if i % 2 == 0 {
+            // Chain: a -> b -> c.
+            "[[0,1,2,0],[1,2,3,0]]".to_string()
+        } else {
+            // Recurrence: a -> b -> c -> a with distance 1.
+            "[[0,1,2,0],[1,2,2,0],[2,0,2,1]]".to_string()
+        };
+        let mut line = format!("{{\"type\": \"schedule\", \"id\": {}, \"fingerprint\": ", i + 1);
+        push_json_string(&mut line, fp);
+        line.push_str(", \"nodes\": [");
+        for (j, name) in [a, b, c].iter().enumerate() {
+            if j > 0 {
+                line.push_str(", ");
+            }
+            push_json_string(&mut line, name);
+        }
+        line.push_str("], \"edges\": ");
+        line.push_str(&edges);
+        line.push('}');
+        lines.push(line);
+    }
+    lines
+}
+
+/// Runs the load workload against `machine` and reports throughput,
+/// tail latency, and burst-phase shed count.
+///
+/// # Errors
+///
+/// Fails only if the machine itself is rejected by the engine (the
+/// same validation the offline CLI applies).
+pub fn run_load(machine: &MachineDescription, opts: &LoadOptions) -> Result<LoadReport, ServeError> {
+    let mut engine = ServeEngine::new(EngineConfig::default());
+    let (reply, _) = engine.handle_line(&machine_line(machine), Instant::now());
+    let parsed = serde_json::from_str(&reply)
+        .map_err(|e| ServeError::Malformed { detail: e.to_string() })?;
+    if parsed.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        return Err(ServeError::BadRequest {
+            detail: format!("machine rejected: {reply}"),
+        });
+    }
+    let fp = parsed
+        .get("fingerprint")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: "machine reply lacks fingerprint".into(),
+        })?
+        .to_string();
+
+    let lines = request_lines(machine, &fp, opts.requests);
+    let start = Instant::now();
+    for line in &lines {
+        let _ = engine.handle_line(line, Instant::now());
+    }
+    let elapsed = start.elapsed();
+    let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    let answered = engine.counter("serve.requests");
+    let ok = engine.counter("serve.ok");
+    let errors = engine.counter("serve.errors");
+    let (p50, p99) = engine
+        .metrics()
+        .histogram("serve.latency_ns")
+        .map(|h| (h.approx_quantile(0.5), h.approx_quantile(0.99)))
+        .unwrap_or((0, 0));
+
+    // Burst phase: replay a slice through the bounded admission queue
+    // with a tiny cap so overload shedding actually fires.
+    let burst = lines.iter().take(opts.burst).cloned().collect::<Vec<_>>();
+    let daemon_opts = ServeOptions {
+        queue_cap: opts.queue_cap,
+        ..ServeOptions::default()
+    };
+    let sink = CountingSink::default();
+    let writer: SharedWriter = Arc::new(Mutex::new(Box::new(sink.clone())));
+    serve_stream(
+        Cursor::new(burst.join("\n").into_bytes()),
+        writer,
+        &mut engine,
+        &daemon_opts,
+    );
+    let shed = engine.counter("serve.shed");
+
+    Ok(LoadReport {
+        requests: answered,
+        ok,
+        errors,
+        shed,
+        elapsed_ns,
+        req_per_s: if elapsed_ns == 0 {
+            0.0
+        } else {
+            opts.requests as f64 * 1e9 / elapsed_ns as f64
+        },
+        p50_ns: p50,
+        p99_ns: p99,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::models;
+
+    #[test]
+    fn load_run_reports_throughput() {
+        let m = models::example_machine();
+        let report = run_load(
+            &m,
+            &LoadOptions {
+                requests: 24,
+                queue_cap: 4,
+                burst: 16,
+            },
+        )
+        .expect("load run");
+        // machine frame + 24 schedules, plus whatever the burst phase
+        // managed to admit before shedding.
+        assert!(report.requests >= 25, "answered {}", report.requests);
+        assert!(report.ok >= 25, "ok {}", report.ok);
+        assert_eq!(report.errors, 0);
+        assert!(report.req_per_s > 0.0);
+        let json = report.to_json();
+        assert!(serde_json::from_str(&json).is_ok(), "{json}");
+    }
+}

@@ -1,6 +1,8 @@
 //! In-tree stand-in for the subset of `serde_json` used by this
 //! workspace: serializing benchmark records with `to_string` /
-//! `to_string_pretty` over the in-tree `serde` shim.
+//! `to_string_pretty` over the in-tree `serde` shim, plus a small
+//! recursive-descent parser ([`from_str`] → [`Value`]) for the
+//! `rmd serve` line-delimited request protocol.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -97,6 +99,372 @@ fn push_newline(out: &mut String, indent: usize) {
     }
 }
 
+/// A parsed JSON document.
+///
+/// Numbers are held as `f64` (every protocol field fits without loss;
+/// [`Value::as_u64`] / [`Value::as_i64`] reject values that do not
+/// round-trip exactly). Object member order is preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A JSON number.
+    Number(f64),
+    /// A JSON string (escapes decoded).
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object in source order. Duplicate keys are kept;
+    /// [`Value::get`] returns the first.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object, or `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is one exactly (no fraction, no
+    /// negative sign, no precision loss).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9007199254740991.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The number as an `i64`, if it is one exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (-9007199254740991.0..=9007199254740991.0).contains(&n) {
+            Some(n as i64)
+        } else {
+            None
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: what went wrong and the byte offset it was noticed at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseJsonError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseJsonError {}
+
+/// Parse `src` as a single JSON value; trailing non-whitespace (for
+/// example a second value on the same line) is an error.
+pub fn from_str(src: &str) -> Result<Value, ParseJsonError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Nesting depth bound: protocol frames are shallow, and a bound keeps
+/// adversarial input from overflowing the parser's recursion.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseJsonError {
+        ParseJsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), ParseJsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseJsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseJsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseJsonError> {
+        self.eat(b'[', "expected '['")?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseJsonError> {
+        self.eat(b'{', "expected '{'")?;
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseJsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain (unescaped, non-quote) bytes at once.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The input is a &str, so any byte run that stops on an
+            // ASCII delimiter is valid UTF-8.
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8 input"));
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u', "expected low surrogate")?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let cp =
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseJsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = v * 16 + d as u32;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseJsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one leading zero, or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit expected after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit expected in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +485,85 @@ mod tests {
     fn empty_containers_stay_inline() {
         let empty: Vec<u32> = Vec::new();
         assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::Number(42.0));
+        assert_eq!(from_str("-0.5e2").unwrap(), Value::Number(-50.0));
+        assert_eq!(
+            from_str("\"a\\nb\\u0041\"").unwrap(),
+            Value::String("a\nbA".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_structures_and_accessors() {
+        let v = from_str(r#"{"type":"schedule","edges":[[0,1,7,0]],"strict":true}"#).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("schedule"));
+        assert_eq!(v.get("strict").and_then(Value::as_bool), Some(true));
+        let edges = v.get("edges").and_then(Value::as_array).unwrap();
+        let e0 = edges[0].as_array().unwrap();
+        assert_eq!(e0[2].as_u64(), Some(7));
+        assert_eq!(e0[2].as_i64(), Some(7));
+        assert_eq!(from_str("-3").unwrap().as_i64(), Some(-3));
+        assert_eq!(from_str("-3").unwrap().as_u64(), None);
+        assert_eq!(from_str("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn parse_surrogate_pairs_and_escapes() {
+        assert_eq!(
+            from_str("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".to_string())
+        );
+        assert!(from_str("\"\\ud83d\"").is_err());
+        assert!(from_str("\"\\x\"").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "nul",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{\"a\":1} {\"b\":2}", // interleaved frames on one line
+            "{\"a\":1}x",
+            "\u{1}",
+        ] {
+            let e = from_str(bad);
+            assert!(e.is_err(), "accepted {bad:?}");
+        }
+        let err = from_str("{\"a\":1} {\"b\":2}").unwrap_err();
+        assert_eq!(err.message, "trailing data after JSON value");
+        assert_eq!(err.offset, 8);
+    }
+
+    #[test]
+    fn parse_depth_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let e = from_str(&deep).unwrap_err();
+        assert_eq!(e.message, "nesting too deep");
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_roundtrips_serialized_records() {
+        let v = vec![("key \"q\"".to_string(), 7u64)];
+        let s = to_string(&v).unwrap();
+        let parsed = from_str(&s).unwrap();
+        let outer = parsed.as_array().unwrap();
+        let pair = outer[0].as_array().unwrap();
+        assert_eq!(pair[0].as_str(), Some("key \"q\""));
+        assert_eq!(pair[1].as_u64(), Some(7));
     }
 }
