@@ -55,6 +55,11 @@ pub struct Diagnostic {
 pub struct Report {
     /// What was analyzed — a path, a model name, or a trace label.
     pub subject: String,
+    /// Content fingerprint of the analyzed machine (`rmd-` + 16 hex
+    /// digits), when the subject expanded to a valid description. This
+    /// is the same key `rmd serve` caches under and `rmd certify` binds
+    /// certificates to, so findings from all three tools can be joined.
+    pub fingerprint: Option<String>,
     /// The findings, in registry order.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -64,6 +69,7 @@ impl Report {
     pub fn new(subject: impl Into<String>) -> Self {
         Report {
             subject: subject.into(),
+            fingerprint: None,
             diagnostics: Vec::new(),
         }
     }
@@ -134,10 +140,13 @@ impl Report {
     pub fn render_json(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
+        let _ = write!(out, "{{\"subject\":\"{}\",", json_escape(&self.subject));
+        if let Some(fp) = &self.fingerprint {
+            let _ = write!(out, "\"fingerprint\":\"{}\",", json_escape(fp));
+        }
         let _ = write!(
             out,
-            "{{\"subject\":\"{}\",\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
-            json_escape(&self.subject),
+            "\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
             self.errors(),
             self.warnings(),
             self.count(Severity::Info)
@@ -159,6 +168,49 @@ impl Report {
             out.push('}');
         }
         out.push_str("]}");
+        out
+    }
+
+    /// Renders the report as a minimal SARIF 2.1.0 log so findings
+    /// surface in GitHub code scanning. One run, driver `rmd`; each
+    /// diagnostic becomes a result with its catalog id as `ruleId`, the
+    /// subject as the artifact URI, and spans as start line/column.
+    /// Severities map to SARIF levels: error → `error`, warning →
+    /// `warning`, info → `note`.
+    pub fn render_sarif(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+        out.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":");
+        out.push_str("{\"name\":\"rmd\",\"informationUri\":");
+        out.push_str("\"https://github.com/rmd-contributors/rmd\"}},\"results\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+                Severity::Info => "note",
+            };
+            let _ = write!(
+                out,
+                "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}}",
+                json_escape(d.id),
+                json_escape(&d.message),
+                json_escape(&self.subject)
+            );
+            if let Some(s) = d.span {
+                let _ = write!(
+                    out,
+                    ",\"region\":{{\"startLine\":{},\"startColumn\":{}}}",
+                    s.line, s.column
+                );
+            }
+            out.push_str("}}]}");
+        }
+        out.push_str("]}]}");
         out
     }
 }
@@ -217,6 +269,43 @@ mod tests {
         let t = r.render_text();
         assert!(t.contains("1 error(s)"), "{t}");
         assert!(t.contains("error[RMD-L006] empty table"), "{t}");
+    }
+
+    #[test]
+    fn json_includes_fingerprint_only_when_known() {
+        let mut r = Report::new("fig1");
+        assert!(!r.render_json().contains("fingerprint"));
+        r.fingerprint = Some("rmd-0123456789abcdef".into());
+        let j = r.render_json();
+        assert!(
+            j.starts_with("{\"subject\":\"fig1\",\"fingerprint\":\"rmd-0123456789abcdef\","),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn sarif_maps_severities_and_spans() {
+        use rmd_machine::mdl::Span;
+        let mut r = Report::new("machines/example.mdl");
+        r.diagnostics.push(diag("RMD-L006", Severity::Error, "empty"));
+        r.diagnostics.push(Diagnostic {
+            id: "RMD-L009",
+            severity: Severity::Info,
+            message: "redundancy".into(),
+            span: Some(Span {
+                start: 20,
+                end: 25,
+                line: 3,
+                column: 7,
+            }),
+        });
+        let s = r.render_sarif();
+        assert!(s.contains("\"version\":\"2.1.0\""), "{s}");
+        assert!(s.contains("\"ruleId\":\"RMD-L006\",\"level\":\"error\""), "{s}");
+        assert!(s.contains("\"ruleId\":\"RMD-L009\",\"level\":\"note\""), "{s}");
+        assert!(s.contains("\"region\":{\"startLine\":3,\"startColumn\":7}"), "{s}");
+        assert!(s.contains("\"uri\":\"machines/example.mdl\""), "{s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 
     #[test]

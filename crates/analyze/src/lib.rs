@@ -16,6 +16,11 @@
 //!   `rmd-fault`'s differential replayer records — against the paper's
 //!   `check`/`assign`/`assign&free`/`free` query protocol (§7), without
 //!   running any query module. See [`check_trace`].
+//! * **Schedule certifiers** (`RMD-S001` …) re-validate an emitted
+//!   modulo schedule against the *unreduced* description by
+//!   re-simulating its resource usage directly from reservation tables,
+//!   so IMS output is never trusted on the reduced tables alone. See
+//!   [`certify_schedule`] and [`certify_schedule_pair`].
 //!
 //! Findings are [`Diagnostic`]s with a stable catalog id, a
 //! [`Severity`], and (for MDL input) the declaration span to point an
@@ -49,8 +54,12 @@ mod lint;
 pub mod lints;
 mod model;
 mod protocol;
+mod schedule;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use lint::{all_lints, lint_alt, lint_machine, lint_subject, Lint, INVALID_MACHINE};
 pub use model::{LintSubject, OpGroup};
 pub use protocol::{check_trace, violation_id};
+pub use schedule::{
+    certify_schedule, certify_schedule_pair, SCHED_DEPENDENCE, SCHED_REDUCED_ONLY, SCHED_RESOURCE,
+};

@@ -39,6 +39,8 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(lints::MatrixInvariant),
         Box::new(lints::DominatedAlternative),
         Box::new(lints::Redundancy),
+        Box::new(lints::NeverSelectable),
+        Box::new(lints::IiInfeasible),
     ]
 }
 
@@ -48,6 +50,7 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
 /// [`INVALID_MACHINE`] error carrying the expansion failure.
 pub fn lint_subject(subject: &LintSubject) -> Report {
     let mut report = Report::new(subject.name());
+    report.fingerprint = subject.machine().map(rmd_machine::content_fingerprint);
     if let Some(e) = subject.expand_error() {
         report.diagnostics.push(Diagnostic {
             id: INVALID_MACHINE,
@@ -103,5 +106,13 @@ mod tests {
             "{r:?}"
         );
         assert!(r.errors() >= 1);
+        assert!(r.fingerprint.is_none(), "no fingerprint without a machine");
+    }
+
+    #[test]
+    fn reports_carry_the_machine_content_fingerprint() {
+        let m = rmd_machine::models::example_machine();
+        let r = lint_machine(&m);
+        assert_eq!(r.fingerprint, Some(rmd_machine::content_fingerprint(&m)));
     }
 }

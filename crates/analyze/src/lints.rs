@@ -1,4 +1,4 @@
-//! The description-lint catalog, `RMD-L001` … `RMD-L009`.
+//! The description-lint catalog, `RMD-L001` … `RMD-L011`.
 //!
 //! | id       | name                  | default severity |
 //! |----------|-----------------------|------------------|
@@ -11,6 +11,8 @@
 //! | RMD-L007 | matrix-invariant      | error            |
 //! | RMD-L008 | dominated-alternative | warning / info   |
 //! | RMD-L009 | redundancy            | info             |
+//! | RMD-L010 | never-selectable      | warning          |
+//! | RMD-L011 | ii-infeasible         | info             |
 //!
 //! Redundancy findings (`L002`, `L003`, `L009`) are *info*, not
 //! warnings: redundant resources in real descriptions are the paper's
@@ -414,7 +416,7 @@ impl Lint for Redundancy {
     fn run(&self, s: &LintSubject, out: &mut Vec<Diagnostic>) {
         let Some(m) = s.machine() else { return };
         let f = matrix_of(m);
-        let fp = fingerprint(&f);
+        let fp = rmd_core::fingerprints::matrix_fingerprint(&f);
         let classes = ClassPartition::compute(m, &f);
         let Ok(cm) = classes.class_machine(m) else {
             return;
@@ -438,6 +440,111 @@ impl Lint for Redundancy {
     }
 }
 
+/// RMD-L010: an alternative that can never be *selected*.
+/// `check-with-alt` probes a group's alternatives in declaration order
+/// and returns the first contention-free one; when an **earlier**
+/// alternative reserves a strict subset of a later one's cells, the
+/// earlier is free whenever the later is, so first-fit selection never
+/// reaches the later alternative — it is dead weight in every schedule.
+/// (Equal tables are RMD-L008's duplicate finding; a subset declared
+/// *after* its superset is still selectable and only draws L008's info.)
+pub struct NeverSelectable;
+
+impl Lint for NeverSelectable {
+    fn id(&self) -> &'static str {
+        "RMD-L010"
+    }
+    fn name(&self) -> &'static str {
+        "never-selectable"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, s: &LintSubject, out: &mut Vec<Diagnostic>) {
+        for g in s.groups() {
+            let alts = &g.alternatives;
+            for j in 1..alts.len() {
+                if let Some(k) = (0..j).find(|&k| table_strict_subset(&alts[k], &alts[j])) {
+                    out.push(diag(
+                        self,
+                        g.span,
+                        format!(
+                            "alternative {j} of `{}` is never selectable: alternative {k} \
+                             reserves a strict subset of its cells and is probed first",
+                            g.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// RMD-L011: an operation that cannot sustain the initiation interval
+/// its resource counts promise. An alternative's resource-minimum II
+/// (ResMII) is the largest number of times it reserves any single
+/// resource; when two same-resource reservations sit a multiple of that
+/// ResMII apart, the operation conflicts with its own next initiation at
+/// II = ResMII, so its true per-op minimum II is strictly larger than
+/// the bound a scheduler would compute from usage counts.
+pub struct IiInfeasible;
+
+impl Lint for IiInfeasible {
+    fn id(&self) -> &'static str {
+        "RMD-L011"
+    }
+    fn name(&self) -> &'static str {
+        "ii-infeasible"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn run(&self, s: &LintSubject, out: &mut Vec<Diagnostic>) {
+        for g in s.groups() {
+            for (i, table) in g.alternatives.iter().enumerate() {
+                let mut cycles_by_res: Vec<(u32, Vec<u32>)> = Vec::new();
+                for u in table.usages() {
+                    match cycles_by_res.iter_mut().find(|(r, _)| *r == u.resource.0) {
+                        Some((_, cs)) => cs.push(u.cycle),
+                        None => cycles_by_res.push((u.resource.0, vec![u.cycle])),
+                    }
+                }
+                let Some(resmii) = cycles_by_res.iter().map(|(_, cs)| cs.len()).max() else {
+                    continue; // empty table: RMD-L006's finding
+                };
+                let resmii = resmii as u32;
+                if resmii < 2 {
+                    continue; // no resource reused; II=1 is trivially clean
+                }
+                let collision = cycles_by_res.iter().find_map(|&(r, ref cs)| {
+                    cs.iter()
+                        .flat_map(|&c1| cs.iter().map(move |&c2| (c1, c2)))
+                        .find(|&(c1, c2)| c1 < c2 && (c2 - c1) % resmii == 0)
+                        .map(|(c1, c2)| (r, c1, c2))
+                });
+                if let Some((r, c1, c2)) = collision {
+                    let rname = s
+                        .resource_names()
+                        .get(r as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?");
+                    out.push(diag(
+                        self,
+                        g.span,
+                        format!(
+                            "`{}`{}: cannot sustain II={resmii} (its ResMII): `{rname}`@{c1} \
+                             and `{rname}`@{c2} are {} cycles apart, a multiple of {resmii}",
+                            g.name,
+                            alt_label(g, i),
+                            c2 - c1
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 fn alt_label(g: &OpGroup, i: usize) -> String {
     if g.alternatives.len() > 1 {
         format!(" (alternative {i})")
@@ -453,28 +560,6 @@ fn table_strict_subset(a: &ReservationTable, b: &ReservationTable) -> bool {
 
 pub(crate) fn matrix_of(m: &rmd_machine::MachineDescription) -> ForbiddenMatrix {
     ForbiddenMatrix::compute(m)
-}
-
-/// FNV-1a over every `(x, y, latency)` triple of the matrix — a compact
-/// witness that two descriptions forbid the same latencies, embedded in
-/// the RMD-L009 report so any semantic change to a description visibly
-/// changes its lint output.
-fn fingerprint(f: &ForbiddenMatrix) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    for x in 0..f.num_ops() {
-        for y in 0..f.num_ops() {
-            for lat in f.get_idx(x, y).iter() {
-                mix(x as u64);
-                mix(y as u64);
-                mix(lat as u32 as u64);
-            }
-        }
-    }
-    h
 }
 
 #[cfg(test)]
@@ -590,5 +675,112 @@ mod tests {
         };
         assert_ne!(report(base), report(shifted), "matrix change must show");
         assert_eq!(report(base), report(renamed), "renames are not semantic");
+    }
+
+    #[test]
+    fn never_selectable_is_order_sensitive() {
+        // (source, expected L010 findings, message fragment)
+        let cases: [(&str, usize, &str); 4] = [
+            // Subset first: the superset alternative is unreachable.
+            (
+                r#"machine "m" { resources { p; q; }
+                    op ld alt { { use p @ 0; } { use p @ 0; use q @ 1; } } }"#,
+                1,
+                "alternative 1 of `ld` is never selectable: alternative 0",
+            ),
+            // Superset first: the subset is still reached when p is busy.
+            (
+                r#"machine "m" { resources { p; q; }
+                    op ld alt { { use p @ 0; use q @ 1; } { use p @ 0; } } }"#,
+                0,
+                "",
+            ),
+            // Disjoint alternatives: both selectable.
+            (
+                r#"machine "m" { resources { p; q; }
+                    op ld alt { { use p @ 0; } { use q @ 0; } } }"#,
+                0,
+                "",
+            ),
+            // Equal tables are L008's duplicate, not L010's.
+            (
+                r#"machine "m" { resources { p; }
+                    op ld alt { { use p @ 0; } { use p @ 0; } } }"#,
+                0,
+                "",
+            ),
+        ];
+        for (src, expected, fragment) in cases {
+            let s = subject(src);
+            let mut out = Vec::new();
+            NeverSelectable.run(&s, &mut out);
+            assert_eq!(out.len(), expected, "{src}: {out:?}");
+            if expected > 0 {
+                assert_eq!(out[0].severity, Severity::Warning);
+                assert!(out[0].message.contains(fragment), "{}", out[0].message);
+            }
+        }
+    }
+
+    #[test]
+    fn ii_infeasible_flags_resmii_collisions() {
+        // (source, expected L011 findings, message fragment)
+        let cases: [(&str, usize, &str); 4] = [
+            // r reused twice, 2 cycles apart: self-conflict at II = 2.
+            (
+                r#"machine "m" { resources { r; } op x { use r @ 0; use r @ 2; } }"#,
+                1,
+                "cannot sustain II=2 (its ResMII): `r`@0 and `r`@2",
+            ),
+            // 1 cycle apart: 1 is not a multiple of 2 — II = 2 works.
+            (
+                r#"machine "m" { resources { r; } op x { use r @ 0; use r @ 1; } }"#,
+                0,
+                "",
+            ),
+            // Collision on a non-bottleneck resource still counts:
+            // ResMII = 3 (from r), but s@1 / s@4 collide mod 3.
+            (
+                r#"machine "m" { resources { r; s; }
+                    op x { use r @ 0; use r @ 1; use r @ 2; use s @ 1; use s @ 4; } }"#,
+                1,
+                "`s`@1 and `s`@4",
+            ),
+            // No resource reused: nothing to report.
+            (
+                r#"machine "m" { resources { r; s; } op x { use r @ 0; use s @ 3; } }"#,
+                0,
+                "",
+            ),
+        ];
+        for (src, expected, fragment) in cases {
+            let s = subject(src);
+            let mut out = Vec::new();
+            IiInfeasible.run(&s, &mut out);
+            assert_eq!(out.len(), expected, "{src}: {out:?}");
+            if expected > 0 {
+                assert_eq!(out[0].severity, Severity::Info);
+                assert!(out[0].message.contains(fragment), "{}", out[0].message);
+            }
+        }
+    }
+
+    #[test]
+    fn new_lints_raise_no_warnings_on_the_builtin_models() {
+        // The CI machine-lint gate runs `--deny warnings` over every
+        // built-in; RMD-L010 (a warning) must not fire on any of them,
+        // and RMD-L011 stays informational wherever it fires.
+        for m in rmd_machine::models::all_machines() {
+            let s = LintSubject::from_machine(&m);
+            let mut out = Vec::new();
+            NeverSelectable.run(&s, &mut out);
+            assert_eq!(out, Vec::new(), "{}", m.name());
+            IiInfeasible.run(&s, &mut out);
+            assert!(
+                out.iter().all(|d| d.severity == Severity::Info),
+                "{}: {out:?}",
+                m.name()
+            );
+        }
     }
 }

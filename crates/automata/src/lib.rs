@@ -47,6 +47,7 @@ mod cursor;
 mod factored;
 mod minimize;
 mod module;
+mod space;
 mod state;
 pub mod unrestricted;
 
@@ -55,3 +56,4 @@ pub use module::AutomataModule;
 pub use cursor::Cursor;
 pub use factored::{partition_resources, FactoredAutomata};
 pub use minimize::{build_minimized, minimize, Minimized};
+pub use space::{SpaceState, StateSpace};

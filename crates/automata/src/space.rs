@@ -1,0 +1,142 @@
+//! Lazy reachable-state enumeration over resource-commitment states.
+//!
+//! [`StateSpace`] exposes the commitment-state transition system of a
+//! machine description *without* building an explicit [`Automaton`]
+//! transition table: callers hold [`SpaceState`] values and ask for
+//! successors one at a time. This is the enumeration API behind
+//! `rmd certify`'s global product pass, where the interesting object is
+//! the product of two state spaces — materializing either side's full
+//! automaton first would defeat the purpose (the Cydra 5 commitment
+//! space exceeds 5 million states even after reduction).
+//!
+//! A state is a commitment matrix: bit `(cycle, resource)` set iff the
+//! resource is committed that many cycles from now. Issuing an operation
+//! ORs in its reservation-table mask (legal only when disjoint); one
+//! cycle of time shifts every commitment toward the present.
+//!
+//! [`Automaton`]: crate::Automaton
+
+use crate::state::{StateKey, StateShape};
+use rmd_machine::{MachineDescription, OpId};
+
+/// One resource-commitment state of a [`StateSpace`].
+///
+/// Opaque except for [`words`](SpaceState::words), which exposes the
+/// packed bits so product constructions can intern composite states.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SpaceState(StateKey);
+
+impl SpaceState {
+    /// The packed commitment bits, least-significant bit first.
+    pub fn words(&self) -> &[u64] {
+        &self.0.bits
+    }
+}
+
+/// The commitment-state transition system of one machine description,
+/// enumerated lazily (no transition table is built).
+pub struct StateSpace {
+    shape: StateShape,
+    masks: Vec<StateKey>,
+}
+
+impl StateSpace {
+    /// Build the state space of `machine`. Cost is one mask per
+    /// operation; no reachability is performed.
+    pub fn new(machine: &MachineDescription) -> Self {
+        let shape = StateShape::for_machine(machine);
+        let masks = machine
+            .operations()
+            .iter()
+            .map(|op| shape.table_mask(op.table(), None))
+            .collect();
+        StateSpace { shape, masks }
+    }
+
+    /// The empty-pipeline start state.
+    pub fn start(&self) -> SpaceState {
+        SpaceState(self.shape.empty())
+    }
+
+    /// Number of operations (valid `OpId` indexes for
+    /// [`can_issue`](StateSpace::can_issue)).
+    pub fn num_ops(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Number of `u64` words in each state's packed representation.
+    pub fn state_words(&self) -> usize {
+        self.shape.blocks
+    }
+
+    /// Whether `op` can issue in `state` (its reservation table is
+    /// disjoint from the current commitments).
+    pub fn can_issue(&self, state: &SpaceState, op: OpId) -> bool {
+        !self.shape.conflicts(&state.0, &self.masks[op.index()])
+    }
+
+    /// The state after issuing `op`, or `None` when `op` conflicts.
+    pub fn issue(&self, state: &SpaceState, op: OpId) -> Option<SpaceState> {
+        if !self.can_issue(state, op) {
+            return None;
+        }
+        Some(SpaceState(
+            self.shape.union(&state.0, &self.masks[op.index()]),
+        ))
+    }
+
+    /// The state one cycle later (commitments at cycle 0 expire).
+    pub fn advance(&self, state: &SpaceState) -> SpaceState {
+        SpaceState(self.shape.advance(&state.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Automaton, Direction};
+    use rmd_machine::models;
+    use std::collections::{HashSet, VecDeque};
+
+    /// BFS over the lazy space must reach exactly as many states as the
+    /// eagerly built forward automaton.
+    #[test]
+    fn reachable_count_matches_automaton() {
+        let m = models::example_machine();
+        let auto = Automaton::build(&m, Direction::Forward, 1 << 20).expect("fig1 fits");
+
+        let space = StateSpace::new(&m);
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(space.start());
+        queue.push_back(space.start());
+        while let Some(s) = queue.pop_front() {
+            let mut push = |n: SpaceState| {
+                if seen.insert(n.clone()) {
+                    queue.push_back(n);
+                }
+            };
+            push(space.advance(&s));
+            for op in 0..space.num_ops() {
+                if let Some(n) = space.issue(&s, OpId(op as u32)) {
+                    push(n);
+                }
+            }
+        }
+        assert_eq!(seen.len(), auto.num_states());
+    }
+
+    #[test]
+    fn issue_then_advance_frees_resources() {
+        let m = models::example_machine();
+        let space = StateSpace::new(&m);
+        let op = OpId(0);
+        let s = space.issue(&space.start(), op).expect("empty state is free");
+        assert!(!space.can_issue(&s, op), "table self-conflicts at cycle 0");
+        let mut cur = s;
+        for _ in 0..m.max_table_length() {
+            cur = space.advance(&cur);
+        }
+        assert_eq!(cur, space.start(), "all commitments expire");
+    }
+}

@@ -1,0 +1,130 @@
+//! Counterexamples: concrete witnesses that two descriptions disagree.
+//!
+//! A counterexample is a *schedule prefix* — a sequence of placements
+//! that both descriptions accept — plus one final probe on which they
+//! disagree. It is deliberately shaped so it can be replayed through any
+//! [`ContentionQuery`](rmd_query::ContentionQuery) backend: the rmd-fault
+//! differential oracle consumes the [`to_trace`](Counterexample::to_trace)
+//! rendering to independently confirm every mismatch the prover reports.
+
+use rmd_machine::{MachineDescription, OpId};
+use rmd_query::{OpInstance, QueryEvent, QueryTrace};
+use std::fmt::Write as _;
+
+/// Which transition system the mismatch was found in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CexKind {
+    /// Linear (acyclic) schedule: placements at absolute cycles.
+    Linear,
+    /// Modulo schedule at a fixed initiation interval: placements at
+    /// slots within one kernel iteration.
+    Modulo {
+        /// The initiation interval at which the descriptions disagree.
+        ii: u32,
+    },
+}
+
+/// A concrete scheduling scenario on which the two descriptions give
+/// different answers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counterexample {
+    /// Linear or modulo, and at which II.
+    pub kind: CexKind,
+    /// Placements both sides accepted, as `(op, cycle)` pairs in the
+    /// order they were issued.
+    pub places: Vec<(OpId, u32)>,
+    /// The probe `(op, cycle)` on which the sides disagree.
+    pub probe: (OpId, u32),
+    /// What the left (original) description answers for the probe.
+    pub left_admits: bool,
+    /// What the right (reduced / suspect) description answers.
+    pub right_admits: bool,
+}
+
+impl Counterexample {
+    /// Render the scenario with operation names resolved against
+    /// `machine` (both sides share the operation set, so either works).
+    pub fn render(&self, machine: &MachineDescription) -> String {
+        let name = |op: OpId| {
+            machine
+                .operations()
+                .get(op.index())
+                .map(|o| o.name().to_string())
+                .unwrap_or_else(|| format!("{op}"))
+        };
+        let mut s = String::new();
+        match self.kind {
+            CexKind::Linear => s.push_str("counterexample (linear schedule):\n"),
+            CexKind::Modulo { ii } => {
+                let _ = writeln!(s, "counterexample (modulo schedule, II={ii}):");
+            }
+        }
+        if self.places.is_empty() {
+            s.push_str("  with an empty pipeline,\n");
+        } else {
+            for &(op, cycle) in &self.places {
+                let _ = writeln!(s, "  place {} at cycle {cycle}", name(op));
+            }
+        }
+        let (op, cycle) = self.probe;
+        let _ = writeln!(
+            s,
+            "  probe {} at cycle {cycle}: original answers {}, reduced answers {}",
+            name(op),
+            self.left_admits,
+            self.right_admits
+        );
+        s
+    }
+
+    /// The scenario as a replayable [`QueryTrace`]: one `check` +
+    /// `assign` per placement, then the final divergent `check`. Because
+    /// both sides accepted every placement, replaying the trace on any
+    /// backend of either description is protocol-clean, and the last
+    /// event's answer is where a differential replay diverges.
+    pub fn to_trace(&self, machine_name: &str) -> QueryTrace {
+        let mut t = match self.kind {
+            CexKind::Linear => QueryTrace::new(machine_name),
+            CexKind::Modulo { ii } => QueryTrace::modulo(machine_name, ii),
+        };
+        for (i, &(op, cycle)) in self.places.iter().enumerate() {
+            t.push(QueryEvent::Check { op, cycle });
+            t.push(QueryEvent::Assign {
+                inst: OpInstance(i as u32),
+                op,
+                cycle,
+            });
+        }
+        let (op, cycle) = self.probe;
+        t.push(QueryEvent::Check { op, cycle });
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::models;
+    use rmd_query::{DiscreteModule, Response};
+
+    #[test]
+    fn trace_replays_placements_then_probe() {
+        let m = models::example_machine();
+        let a = m.op_by_name("A").expect("fig1 has A");
+        let cex = Counterexample {
+            kind: CexKind::Linear,
+            places: vec![(a, 0)],
+            probe: (a, 1),
+            left_admits: false,
+            right_admits: true,
+        };
+        let trace = cex.to_trace(m.name());
+        assert_eq!(trace.len(), 3);
+        let mut q = DiscreteModule::new(&m);
+        let answers = trace.replay(&mut q);
+        assert_eq!(answers[0].response, Response::Admitted(true));
+        let text = cex.render(&m);
+        assert!(text.contains("place A at cycle 0"), "{text}");
+        assert!(text.contains("probe A at cycle 1"), "{text}");
+    }
+}

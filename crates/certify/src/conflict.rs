@@ -1,0 +1,199 @@
+//! Pairwise conflict vectors derived directly from reservation tables.
+//!
+//! For two operations `o` and `z`, bit `a` of the conflict vector
+//! `cv[o][z]` is set iff issuing `z` exactly `a` cycles *after* `o`
+//! makes some resource double-booked — i.e. the two reservation tables,
+//! offset by `a`, share a `(resource, cycle)` cell. These vectors are the
+//! whole observable content of a description: a set of placements is
+//! legal iff every pair of placed instances is pairwise conflict-free
+//! (resource conflicts decompose over pairs), so two descriptions whose
+//! conflict vectors agree admit exactly the same schedules.
+//!
+//! Crucially the vectors are computed from the *tables*, not from the
+//! forbidden-latency matrix — the certifier must not assume the artifact
+//! it is trying to prove things about.
+
+use crate::CertifyError;
+use rmd_machine::MachineDescription;
+
+/// Offsets are stored as bits of a `u128`, so the longest reservation
+/// table a certifiable machine may have is 127 cycles (offset 0..=127).
+/// Every shipped model is far below this (Cydra 5: 40 cycles).
+pub const MAX_SPAN: u32 = 127;
+
+/// The full `n × n` matrix of pairwise conflict vectors of one machine.
+pub struct ConflictVectors {
+    n: usize,
+    span: u32,
+    v: Vec<u128>,
+}
+
+impl ConflictVectors {
+    /// Compute every pairwise conflict vector of `machine` from its
+    /// reservation tables.
+    ///
+    /// Fails with [`CertifyError::TableTooLong`] when any table spans
+    /// more than [`MAX_SPAN`] cycles.
+    pub fn compute(machine: &MachineDescription) -> Result<Self, CertifyError> {
+        let span = machine.max_table_length();
+        if span > MAX_SPAN {
+            return Err(CertifyError::TableTooLong {
+                machine: machine.name().to_string(),
+                span,
+                max: MAX_SPAN,
+            });
+        }
+        let ops = machine.operations();
+        let n = ops.len();
+        let mut v = vec![0u128; n * n];
+        for (i, o) in ops.iter().enumerate() {
+            for (j, z) in ops.iter().enumerate() {
+                let mut bits = 0u128;
+                for uo in o.table().usages() {
+                    for uz in z.table().usages() {
+                        if uo.resource == uz.resource && uo.cycle >= uz.cycle {
+                            bits |= 1u128 << (uo.cycle - uz.cycle);
+                        }
+                    }
+                }
+                v[i * n + j] = bits;
+            }
+        }
+        Ok(ConflictVectors { n, span, v })
+    }
+
+    /// Number of operations.
+    pub fn num_ops(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum reservation-table length (one past the last reserved
+    /// cycle), i.e. one past the largest possible conflict offset.
+    pub fn span(&self) -> u32 {
+        self.span
+    }
+
+    /// The conflict vector for issuing `z` after `o`: bit `a` set iff
+    /// `z` issued `a` cycles after `o` conflicts.
+    pub fn get(&self, o: usize, z: usize) -> u128 {
+        self.v[o * self.n + z]
+    }
+
+    /// Whether `op` can initiate every `ii` cycles forever: true iff no
+    /// positive self-conflict offset is a multiple of `ii`.
+    pub fn fits(&self, op: usize, ii: u32) -> bool {
+        let mut a = self.get(op, op) >> 1; // drop offset 0 (the instance itself)
+        let mut off = 1u32;
+        while a != 0 {
+            if a & 1 != 0 && off % ii == 0 {
+                return false;
+            }
+            a >>= 1;
+            off += 1;
+        }
+        true
+    }
+
+    /// Whether placing `z` at signed offset `d (mod ii)` after `o`
+    /// conflicts in a modulo schedule of initiation interval `ii`: some
+    /// conflict offset `a` (of either order) satisfies `a ≡ d (mod ii)`.
+    pub fn conflicts_mod(&self, o: usize, z: usize, d: u32, ii: u32) -> bool {
+        debug_assert!(d < ii);
+        let mut fwd = self.get(o, z);
+        let mut a = 0u32;
+        while fwd != 0 {
+            if fwd & 1 != 0 && a % ii == d {
+                return true;
+            }
+            fwd >>= 1;
+            a += 1;
+        }
+        // Negative offsets: z placed d after o equals o placed (ii - d)
+        // mod ii after z, covered by the reversed vector's positive bits.
+        let mut rev = self.get(z, o) >> 1;
+        let mut b = 1u32;
+        while rev != 0 {
+            if rev & 1 != 0 && b % ii == (ii - d) % ii {
+                return true;
+            }
+            rev >>= 1;
+            b += 1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_latency::ForbiddenMatrix;
+    use rmd_machine::models;
+
+    /// `cv[o][z]` bit `a` (issuing `z` exactly `a` cycles after `o`
+    /// collides) must agree with the forbidden-latency matrix, whose
+    /// convention is `F[X][Y] = { j | X may not issue j cycles after Y }`
+    /// — i.e. bit `a` of `cv[o][z]` equals `forbids(z, a, o)`.
+    #[test]
+    fn vectors_agree_with_forbidden_matrix() {
+        for m in [
+            models::example_machine(),
+            models::mips_r3000(),
+            models::cydra5_subset(),
+        ] {
+            let f = ForbiddenMatrix::compute(&m);
+            let cv = ConflictVectors::compute(&m).expect("span fits");
+            for o in 0..cv.num_ops() {
+                for z in 0..cv.num_ops() {
+                    for a in 0..=cv.span() {
+                        let bit = cv.get(o, z) & (1u128 << a) != 0;
+                        assert_eq!(
+                            bit,
+                            f.forbids(
+                                rmd_machine::OpId(z as u32),
+                                a as i32,
+                                rmd_machine::OpId(o as u32)
+                            ),
+                            "machine {} o={o} z={z} a={a}",
+                            m.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fits_matches_folded_self_conflicts() {
+        let m = models::cydra5_subset();
+        let cv = ConflictVectors::compute(&m).expect("span fits");
+        for op in 0..cv.num_ops() {
+            // ii = span+1 always fits: no offset can be a positive multiple.
+            assert!(cv.fits(op, cv.span() + 1));
+            // ii = 1 fits only for ops with no positive self-conflict.
+            let self_free = cv.get(op, op) >> 1 == 0;
+            assert_eq!(cv.fits(op, 1), self_free, "op {op}");
+        }
+    }
+
+    #[test]
+    fn conflicts_mod_covers_negative_offsets() {
+        let m = models::example_machine();
+        let cv = ConflictVectors::compute(&m).expect("span fits");
+        // For every ordered pair and ii, conflicts_mod(o, z, d) must equal
+        // conflicts_mod(z, o, (ii - d) % ii): the relation is symmetric
+        // under swapping the pair and negating the offset.
+        for ii in 1..=cv.span() + 1 {
+            for o in 0..cv.num_ops() {
+                for z in 0..cv.num_ops() {
+                    for d in 0..ii {
+                        assert_eq!(
+                            cv.conflicts_mod(o, z, d, ii),
+                            cv.conflicts_mod(z, o, (ii - d) % ii, ii),
+                            "ii={ii} o={o} z={z} d={d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

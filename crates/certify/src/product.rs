@@ -1,0 +1,262 @@
+//! Exhaustive pairwise product reachability over conflict-mask states.
+//!
+//! For a pair of operations `(x, y)` the certifier tracks, per machine,
+//! one *future-conflict mask* per candidate: bit `t` of `x`'s mask set
+//! iff issuing `x` at `now + t` would conflict with something already
+//! placed. This is the observational quotient of the resource-commitment
+//! automaton — two commitment states that restrict the candidates
+//! identically collapse to one mask state — so the product stays tiny
+//! even for machines whose commitment automata exceed millions of states
+//! (Cydra 5). The transition relation is exact:
+//!
+//! * advance one cycle: every mask shifts right by one;
+//! * issue `o` (legal iff bit 0 of `o`'s mask is clear): OR the
+//!   precomputed conflict vector `cv[o][z]` into each candidate `z`.
+//!
+//! At every reachable product state the prover checks *contention
+//! bisimulation*: both machines must admit exactly the same candidates
+//! right now. Any disagreement is materialized as a counterexample trace
+//! by walking BFS parent pointers back to the empty-pipeline state.
+
+use crate::cex::{CexKind, Counterexample};
+use crate::conflict::ConflictVectors;
+use crate::{CertifyError, CertifyFailure};
+use rmd_machine::OpId;
+use std::collections::HashMap;
+
+/// A dense-id bitset used as the BFS frontier index: one bit per
+/// interned product state, drained a wave at a time.
+pub(crate) struct IdBitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IdBitset {
+    pub fn new() -> Self {
+        IdBitset {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn insert(&mut self, id: u32) {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.len += 1;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drain all set bits in increasing id order.
+    pub fn drain(&mut self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let mut v = *word;
+            while v != 0 {
+                let b = v.trailing_zeros();
+                out.push((w * 64 + b as usize) as u32);
+                v &= v - 1;
+            }
+            *word = 0;
+        }
+        self.len = 0;
+        out
+    }
+}
+
+/// How a product state was reached from its parent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Step {
+    Root,
+    Advance,
+    /// Issue candidate 0 (`x`) or 1 (`y`).
+    Issue(u8),
+}
+
+/// One product state: the conflict masks of both candidates on both
+/// machines — `(a_x, a_y, b_x, b_y)` — plus the number of placements
+/// already made on the path that reached it.
+///
+/// The placement count is part of the state because exploration is
+/// bounded by it. The bound loses nothing: a candidate's mask is the OR
+/// of one shifted conflict vector per placement, so the two machines
+/// disagree on some multi-placement state iff they disagree on some
+/// *single*-placement state (project the divergent OR bit to the one
+/// placement that contributes it — legal alone by monotonicity). The
+/// certifier explores up to `issue_cap ≥ 2` placements anyway, one more
+/// than a minimal witness needs, as redundancy against that very lemma.
+type PairState = ([u128; 4], u8);
+
+/// Exhaustively explore the product of the two conflict-mask systems
+/// for candidates `x` and `y` (possibly equal), checking contention
+/// bisimulation at every reachable state (up to `issue_cap` placements
+/// per path — complete; see [`PairState`]).
+///
+/// Returns the number of reachable product states, or the first
+/// mismatch as a counterexample, or a budget error if the state count
+/// exceeds `max_states` (which indicates a pathological description,
+/// not a proof failure — the caller reports it as such).
+pub(crate) fn certify_pair_linear(
+    a: &ConflictVectors,
+    b: &ConflictVectors,
+    x: usize,
+    y: usize,
+    issue_cap: u8,
+    max_states: u64,
+) -> Result<u64, CertifyFailure> {
+    let start: PairState = ([0, 0, 0, 0], 0);
+    let mut ids: HashMap<PairState, u32> = HashMap::new();
+    let mut states: Vec<PairState> = Vec::new();
+    let mut parents: Vec<(u32, Step)> = Vec::new();
+    ids.insert(start, 0);
+    states.push(start);
+    parents.push((0, Step::Root));
+
+    let mut frontier = IdBitset::new();
+    frontier.insert(0);
+    while !frontier.is_empty() {
+        let wave = frontier.drain();
+        for id in wave {
+            let (s, issued) = states[id as usize];
+            // Contention bisimulation: both machines must admit exactly
+            // the same candidates in this state.
+            for (slot, op) in [(0usize, x), (1usize, y)] {
+                if slot == 1 && y == x {
+                    break;
+                }
+                let left = s[slot] & 1 == 0;
+                let right = s[2 + slot] & 1 == 0;
+                if left != right {
+                    return Err(CertifyFailure::Mismatch(Box::new(build_cex(
+                        &states, &parents, id, x, y, op, left, right,
+                    ))));
+                }
+            }
+            // Expand: one cycle of time, then each both-sides-legal issue.
+            let mut push = |next: PairState, step: Step, frontier: &mut IdBitset| {
+                let n = ids.len() as u32;
+                let id2 = *ids.entry(next).or_insert(n);
+                if id2 == n {
+                    states.push(next);
+                    parents.push((id, step));
+                    frontier.insert(id2);
+                }
+            };
+            // Once every mask is empty, further advances revisit the
+            // start of an already-explored suffix — don't re-enqueue.
+            if s != [0, 0, 0, 0] {
+                push(
+                    ([s[0] >> 1, s[1] >> 1, s[2] >> 1, s[3] >> 1], issued),
+                    Step::Advance,
+                    &mut frontier,
+                );
+            }
+            for (slot, op) in [(0usize, x), (1usize, y)] {
+                if slot == 1 && y == x {
+                    break;
+                }
+                if issued >= issue_cap || s[slot] & 1 != 0 {
+                    continue; // bisimulation above guarantees both agree
+                }
+                let next = [
+                    s[0] | a.get(op, x),
+                    s[1] | a.get(op, y),
+                    s[2] | b.get(op, x),
+                    s[3] | b.get(op, y),
+                ];
+                push((next, issued + 1), Step::Issue(slot as u8), &mut frontier);
+            }
+            if states.len() as u64 > max_states {
+                return Err(CertifyFailure::Error(CertifyError::StateBudget {
+                    pair: (x, y),
+                    budget: max_states,
+                }));
+            }
+        }
+    }
+    Ok(states.len() as u64)
+}
+
+/// Reconstruct the issue/advance path from the root to `id` and convert
+/// it into placements at absolute cycles plus the divergent probe.
+#[allow(clippy::too_many_arguments)]
+fn build_cex(
+    states: &[PairState],
+    parents: &[(u32, Step)],
+    id: u32,
+    x: usize,
+    y: usize,
+    probe_op: usize,
+    left: bool,
+    right: bool,
+) -> Counterexample {
+    let mut path = Vec::new();
+    let mut cur = id;
+    loop {
+        let (parent, step) = parents[cur as usize];
+        if matches!(step, Step::Root) {
+            break;
+        }
+        path.push(step);
+        cur = parent;
+    }
+    path.reverse();
+    debug_assert_eq!(states[0], ([0, 0, 0, 0], 0));
+    let mut cycle = 0u32;
+    let mut places = Vec::new();
+    for step in path {
+        match step {
+            Step::Root => unreachable!("root is never recorded as a step"),
+            Step::Advance => cycle += 1,
+            Step::Issue(slot) => {
+                let op = if slot == 0 { x } else { y };
+                places.push((OpId(op as u32), cycle));
+            }
+        }
+    }
+    Counterexample {
+        kind: CexKind::Linear,
+        places,
+        probe: (OpId(probe_op as u32), cycle),
+        left_admits: left,
+        right_admits: right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmd_machine::models;
+
+    #[test]
+    fn identical_machines_certify_with_small_state_counts() {
+        let m = models::example_machine();
+        let cv = ConflictVectors::compute(&m).expect("span fits");
+        let n = cv.num_ops();
+        for x in 0..n {
+            for y in x..n {
+                let states = certify_pair_linear(&cv, &cv, x, y, 2, 1 << 20)
+                    .expect("machine equals itself");
+                assert!(states >= 2, "at least the empty and one successor");
+                assert!(states < 4096, "pair ({x},{y}) blew up: {states}");
+            }
+        }
+    }
+
+    #[test]
+    fn drain_returns_ids_in_order() {
+        let mut b = IdBitset::new();
+        b.insert(70);
+        b.insert(3);
+        b.insert(3);
+        assert_eq!(b.drain(), vec![3, 70]);
+        assert!(b.is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 //! rmd matrix <machine>                  # the forbidden-latency matrix
 //! rmd render <machine>                  # ASCII reservation tables
 //! rmd lint   <machine> [options]        # description lints
+//! rmd certify <machine> [options]       # static equivalence proof -> cert
 //! rmd bench  [<machine>...] [options]   # perf workloads -> BENCH_*.json
 //! rmd profile <machine> [options]       # traced run -> phase/latency report
 //! rmd models                            # list built-in models
@@ -42,6 +43,7 @@ use std::fmt::Write as _;
 /// | `Lint`           | 6         | lint findings at error severity           |
 /// | `Export`         | 7         | profile/trace export could not be written |
 /// | `Serve`          | 8         | daemon transport could not be set up      |
+/// | `Certify`        | 9         | equivalence certification failed          |
 /// | `Internal`       | 1         | unexpected pipeline failure               |
 #[derive(Clone, PartialEq, Debug)]
 #[non_exhaustive]
@@ -91,6 +93,16 @@ pub enum CliError {
         /// What failed, already rendered for display.
         message: String,
     },
+    /// `rmd certify` disproved an equivalence (a counterexample was
+    /// found) or could not complete the proof.
+    Certify {
+        /// The full rendered result — counterexample trace or proof
+        /// error — in the requested format; the binary prints this on
+        /// stdout before exiting.
+        report: String,
+        /// One-line failure summary for stderr.
+        message: String,
+    },
     /// An unexpected internal failure.
     Internal(String),
 }
@@ -107,6 +119,7 @@ impl CliError {
             CliError::Lint { .. } => 6,
             CliError::Export { .. } => 7,
             CliError::Serve { .. } => 8,
+            CliError::Certify { .. } => 9,
             CliError::Internal(_) => 1,
         }
     }
@@ -126,6 +139,7 @@ impl std::fmt::Display for CliError {
                 write!(f, "cannot write `{path}`: {message}")
             }
             CliError::Serve { message } => write!(f, "serve: {message}"),
+            CliError::Certify { message, .. } => write!(f, "certify: {message}"),
             CliError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -183,14 +197,38 @@ pub enum Command {
         /// Model name or `.mdl` path.
         machine: String,
     },
-    /// `rmd lint <machine> [--format text|json] [--deny warnings]`
+    /// `rmd lint <machine> [--format text|json|sarif] [--deny warnings]`
     Lint {
         /// Model name or `.mdl` path.
         machine: String,
-        /// Emit the report as one-line JSON instead of text.
-        json: bool,
+        /// Report output format.
+        format: ReportFormat,
         /// Escalate warnings to errors before deciding the exit code.
         deny_warnings: bool,
+    },
+    /// `rmd certify <machine> [--out DIR] [--against <machine>]
+    /// [--mutant OP:SEED] [--format text|json|sarif] [--max-ii N]
+    /// [--budget N]`
+    Certify {
+        /// Model name or `.mdl` path of the original description.
+        machine: String,
+        /// Certify against this second description instead of the
+        /// machine's own reductions.
+        against: Option<String>,
+        /// Apply this seeded rmd-fault mutation operator to the machine
+        /// and certify the mutant against the original (the
+        /// counterexample-replay loop).
+        mutant: Option<(rmd_fault::MutationOp, u64)>,
+        /// Write the certificate JSON into this directory (default-mode
+        /// runs only).
+        out: Option<String>,
+        /// Result output format.
+        format: ReportFormat,
+        /// Override the modulo pass's II bound (`None` = the complete
+        /// bound, the larger machine span).
+        max_ii: Option<u32>,
+        /// Override the global pass's product-state budget.
+        budget: Option<u64>,
     },
     /// `rmd bench [<machine>...] [--quick] [--threads N] [--out DIR]
     /// [--backend NAME]`
@@ -244,6 +282,12 @@ pub enum Command {
         chaos: Option<u64>,
         /// Write flushed metrics JSON to this file instead of stderr.
         metrics: Option<String>,
+        /// Directory of `rmd certify` certificates; machines without a
+        /// vouching certificate are refused. `None` means the default
+        /// `certs` directory.
+        certs: Option<String>,
+        /// Serve without the certificate gate.
+        uncertified: bool,
     },
     /// `rmd models`
     Models,
@@ -261,6 +305,33 @@ pub enum ProfileFormat {
     Jsonl,
     /// Chrome trace-event JSON (Perfetto / `chrome://tracing`).
     Chrome,
+}
+
+/// Output format of `rmd lint` and `rmd certify` reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReportFormat {
+    /// Human-readable report (default).
+    #[default]
+    Text,
+    /// One JSON object (one line for lint reports, pretty-printed for
+    /// certificates).
+    Json,
+    /// SARIF 2.1.0 log for code-scanning upload.
+    Sarif,
+}
+
+impl ReportFormat {
+    /// Parses a `--format` argument shared by `lint` and `certify`.
+    fn parse(v: Option<&str>) -> Result<ReportFormat, CliError> {
+        match v {
+            Some("text") => Ok(ReportFormat::Text),
+            Some("json") => Ok(ReportFormat::Json),
+            Some("sarif") => Ok(ReportFormat::Sarif),
+            other => Err(CliError::Usage(format!(
+                "--format expects `text`, `json`, or `sarif`, got {other:?}"
+            ))),
+        }
+    }
 }
 
 /// Objective selection on the command line.
@@ -313,19 +384,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }),
         "lint" => {
             let machine = required(&mut it, "lint", "<machine>")?;
-            let mut json = false;
+            let mut format = ReportFormat::Text;
             let mut deny_warnings = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--format" => match it.next().map(String::as_str) {
-                        Some("text") => json = false,
-                        Some("json") => json = true,
-                        other => {
-                            return Err(CliError::Usage(format!(
-                                "--format expects `text` or `json`, got {other:?}"
-                            )))
-                        }
-                    },
+                    "--format" => {
+                        format = ReportFormat::parse(it.next().map(String::as_str))?;
+                    }
                     "--deny" => match it.next().map(String::as_str) {
                         Some("warnings") => deny_warnings = true,
                         other => {
@@ -341,8 +406,88 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Lint {
                 machine,
-                json,
+                format,
                 deny_warnings,
+            })
+        }
+        "certify" => {
+            let machine = required(&mut it, "certify", "<machine>")?;
+            let mut against = None;
+            let mut mutant = None;
+            let mut out = None;
+            let mut format = ReportFormat::Text;
+            let mut max_ii = None;
+            let mut budget = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--against" => {
+                        against = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--against expects a machine".to_owned())
+                        })?);
+                    }
+                    "--mutant" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--mutant expects OP:SEED".to_owned())
+                        })?;
+                        mutant = Some(parse_mutant(v)?);
+                    }
+                    "--out" => {
+                        out = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--out expects a directory".to_owned())
+                        })?);
+                    }
+                    "--format" => {
+                        format = ReportFormat::parse(it.next().map(String::as_str))?;
+                    }
+                    "--max-ii" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--max-ii expects a positive number".to_owned())
+                        })?;
+                        let n: u32 = v.parse().map_err(|_| {
+                            CliError::Usage(format!(
+                                "--max-ii expects a positive number, got `{v}`"
+                            ))
+                        })?;
+                        if n == 0 {
+                            return Err(CliError::Usage(
+                                "--max-ii must be at least 1".to_owned(),
+                            ));
+                        }
+                        max_ii = Some(n);
+                    }
+                    "--budget" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--budget expects a number".to_owned())
+                        })?;
+                        budget = Some(v.parse().map_err(|_| {
+                            CliError::Usage(format!("--budget expects a number, got `{v}`"))
+                        })?);
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown option `{other}`")))
+                    }
+                }
+            }
+            if against.is_some() && mutant.is_some() {
+                return Err(CliError::Usage(
+                    "--against and --mutant are mutually exclusive".to_owned(),
+                ));
+            }
+            if out.is_some() && (against.is_some() || mutant.is_some()) {
+                return Err(CliError::Usage(
+                    "--out only applies when certifying a machine against its own \
+                     reductions"
+                        .to_owned(),
+                ));
+            }
+            Ok(Command::Certify {
+                machine,
+                against,
+                mutant,
+                out,
+                format,
+                max_ii,
+                budget,
             })
         }
         "bench" => {
@@ -444,6 +589,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut deadline_ms = None;
             let mut chaos = None;
             let mut metrics = None;
+            let mut certs = None;
+            let mut uncertified = false;
             fn num<T: std::str::FromStr>(
                 flag: &str,
                 v: Option<&String>,
@@ -475,10 +622,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             CliError::Usage("--metrics expects a file path".to_owned())
                         })?);
                     }
+                    "--certs" => {
+                        certs = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--certs expects a directory".to_owned())
+                        })?);
+                    }
+                    "--uncertified" => uncertified = true,
                     other => {
                         return Err(CliError::Usage(format!("unknown option `{other}`")))
                     }
                 }
+            }
+            if uncertified && certs.is_some() {
+                return Err(CliError::Usage(
+                    "--certs and --uncertified are mutually exclusive".to_owned(),
+                ));
             }
             Ok(Command::Serve {
                 socket,
@@ -486,6 +644,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 deadline_ms,
                 chaos,
                 metrics,
+                certs,
+                uncertified,
             })
         }
         "models" => Ok(Command::Models),
@@ -562,6 +722,30 @@ fn parse_backend(v: Option<&String>) -> Result<&'static str, CliError> {
     }
 }
 
+/// Parses a `--mutant OP:SEED` argument against the rmd-fault operator
+/// vocabulary, e.g. `drop-usage:3`. Unknown operators are a usage error
+/// that lists the valid names.
+fn parse_mutant(spec: &str) -> Result<(rmd_fault::MutationOp, u64), CliError> {
+    let list = rmd_fault::ALL_OPERATORS.map(|o| o.name()).join(", ");
+    let Some((name, seed)) = spec.split_once(':') else {
+        return Err(CliError::Usage(format!(
+            "--mutant expects OP:SEED (operators: {list})"
+        )));
+    };
+    let op = rmd_fault::ALL_OPERATORS
+        .into_iter()
+        .find(|o| o.name() == name)
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown mutation operator `{name}` (valid operators: {list})"
+            ))
+        })?;
+    let seed: u64 = seed.parse().map_err(|_| {
+        CliError::Usage(format!("--mutant expects a numeric seed, got `{seed}`"))
+    })?;
+    Ok((op, seed))
+}
+
 fn required(
     it: &mut core::slice::Iter<'_, String>,
     cmd: &str,
@@ -631,6 +815,279 @@ fn lint_spec(spec: &str) -> Result<rmd_analyze::Report, CliError> {
     };
     report.subject = spec.to_owned();
     Ok(report)
+}
+
+/// Finding id for a disproved equivalence (`rmd certify`).
+const CERTIFY_MISMATCH: &str = "RMD-C001";
+/// Finding id for a certification that could not be completed.
+const CERTIFY_ERROR: &str = "RMD-C002";
+
+/// The display key for a machine spec: the model name itself, or the
+/// file stem for `.mdl` paths (the same convention `bench` and
+/// `profile` use to key their records).
+fn spec_key(spec: &str) -> String {
+    if MODEL_NAMES.contains(&spec) {
+        spec.to_owned()
+    } else {
+        std::path::Path::new(spec)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| spec.to_owned())
+    }
+}
+
+/// One-line proof statistics for a successful `certify_pair` run.
+fn render_stats(stats: &rmd_certify::EquivalenceStats) -> String {
+    let global = if stats.global.completed {
+        format!("complete ({} states)", stats.global.product_states)
+    } else {
+        format!("skipped at budget ({} states)", stats.global.product_states)
+    };
+    format!(
+        "  {} pairs, {} product states (max {}); modulo II<={} ({} comparisons); \
+         global pass {global}; {} schedules revalidated\n",
+        stats.pairs,
+        stats.pair_product_states,
+        stats.max_pair_states,
+        stats.modulo.max_ii,
+        stats.modulo.comparisons,
+        stats.schedules_checked,
+    )
+}
+
+/// Human-readable rendering of a full certificate.
+fn render_cert_text(cert: &rmd_certify::Certificate) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{}: certified equivalent under {} objective(s)",
+        cert.machine,
+        cert.objectives.len()
+    );
+    let _ = writeln!(
+        s,
+        "  fingerprint {}, matrix {}, {} operations, {} resources",
+        cert.fingerprint, cert.matrix_fingerprint, cert.operations, cert.resources
+    );
+    for o in &cert.objectives {
+        let global = if o.global_completed {
+            format!("complete ({} states)", o.global_states)
+        } else {
+            format!("skipped at budget ({} states)", o.global_states)
+        };
+        let _ = writeln!(
+            s,
+            "  {}: {} resources, {} usages; {} pairs, {} states (max {}); \
+             modulo II<={}; global pass {global}; {} schedules",
+            o.objective,
+            o.reduced_resources,
+            o.reduced_usages,
+            o.pairs,
+            o.pair_product_states,
+            o.max_pair_states,
+            o.modulo_max_ii,
+            o.schedules_checked,
+        );
+    }
+    s
+}
+
+/// Renders a clean (equivalence-proved) pair result in the requested
+/// format. The report carries no findings; JSON and SARIF renderings
+/// are the machine-readable "no findings" documents.
+fn render_certify_clean(
+    report: &rmd_analyze::Report,
+    format: ReportFormat,
+    headline: &str,
+    stats: &rmd_certify::EquivalenceStats,
+) -> String {
+    match format {
+        ReportFormat::Text => format!("{headline}\n{}", render_stats(stats)),
+        ReportFormat::Json => {
+            let mut j = report.render_json();
+            j.push('\n');
+            j
+        }
+        ReportFormat::Sarif => {
+            let mut s = report.render_sarif();
+            s.push('\n');
+            s
+        }
+    }
+}
+
+/// Converts a certification failure into the exit-9 [`CliError::Certify`],
+/// rendering the counterexample (or proof error) in the requested format
+/// and — when the suspect description is in hand — replaying the
+/// counterexample through the rmd-fault runtime query modules for
+/// independent confirmation.
+fn certify_failure(
+    mut report: rmd_analyze::Report,
+    format: ReportFormat,
+    original: &MachineDescription,
+    suspect: Option<&MachineDescription>,
+    failure: &rmd_certify::CertifyFailure,
+) -> CliError {
+    let message = failure.to_string();
+    let (id, mut text) = match failure {
+        rmd_certify::CertifyFailure::Mismatch(cex) => {
+            let mut t = String::from("NOT equivalent.\n");
+            t.push_str(&cex.render(original));
+            if let Some(s) = suspect {
+                match rmd_fault::confirm_counterexample(original, s, cex) {
+                    Some(div) => {
+                        let _ = writeln!(
+                            t,
+                            "runtime replay confirms the divergence ({div})"
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            t,
+                            "runtime replay did NOT reproduce the divergence"
+                        );
+                    }
+                }
+            }
+            (CERTIFY_MISMATCH, t)
+        }
+        rmd_certify::CertifyFailure::Error(e) => {
+            (CERTIFY_ERROR, format!("certification failed: {e}\n"))
+        }
+    };
+    report.diagnostics.push(rmd_analyze::Diagnostic {
+        id,
+        severity: rmd_analyze::Severity::Error,
+        message: text.trim_end().to_owned(),
+        span: None,
+    });
+    let rendered = match format {
+        ReportFormat::Text => text,
+        ReportFormat::Json => {
+            text = report.render_json();
+            text.push('\n');
+            text
+        }
+        ReportFormat::Sarif => {
+            text = report.render_sarif();
+            text.push('\n');
+            text
+        }
+    };
+    CliError::Certify {
+        report: rendered,
+        message,
+    }
+}
+
+/// Writes a certificate into `dir` as `<machine>.json`, creating the
+/// directory if needed.
+fn write_certificate(
+    cert: &rmd_certify::Certificate,
+    dir: &str,
+) -> Result<std::path::PathBuf, CliError> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| CliError::Export {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let path = dir.join(format!("{}.json", cert.machine));
+    std::fs::write(&path, cert.render_json()).map_err(|e| CliError::Export {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(path)
+}
+
+/// The `rmd certify` command body: default mode proves the machine's
+/// own reductions and emits a certificate; `--against` proves an
+/// arbitrary pair; `--mutant` certifies a seeded rmd-fault mutant
+/// against the original and replays any counterexample through the
+/// runtime query modules.
+fn run_certify(
+    spec: &str,
+    against: Option<&str>,
+    mutant: Option<(rmd_fault::MutationOp, u64)>,
+    out_dir: Option<&str>,
+    format: ReportFormat,
+    options: &rmd_certify::CertifyOptions,
+) -> Result<String, CliError> {
+    let original = load_machine(spec)?;
+    let mut report = rmd_analyze::Report::new(spec);
+    report.fingerprint = Some(rmd_machine::content_fingerprint(&original));
+
+    if let Some((op, seed)) = mutant {
+        let mu = rmd_fault::mutate(&original, op, seed).ok_or_else(|| {
+            CliError::Usage(format!("--mutant {op}:{seed} does not apply to `{spec}`"))
+        })?;
+        let suspect = match &mu.payload {
+            rmd_fault::MutantPayload::Machine(m)
+            | rmd_fault::MutantPayload::ReducedMachine(m) => m.clone(),
+            rmd_fault::MutantPayload::QueryWord { .. } => {
+                return Err(CliError::Usage(format!(
+                    "--mutant {op}:{seed} corrupts a query module's packed state, not \
+                     the description; the static certifier has nothing to compare — \
+                     replay it with the rmd-fault differential oracle instead"
+                )))
+            }
+        };
+        return match rmd_certify::certify_pair(&original, &suspect, options) {
+            Ok(stats) => {
+                let headline = format!(
+                    "mutant {op}:{seed} of `{spec}` ({}) is neutral: certified equivalent",
+                    mu.what
+                );
+                Ok(render_certify_clean(&report, format, &headline, &stats))
+            }
+            Err(failure) => Err(certify_failure(
+                report,
+                format,
+                &original,
+                Some(&suspect),
+                &failure,
+            )),
+        };
+    }
+
+    if let Some(b_spec) = against {
+        let suspect = load_machine(b_spec)?;
+        return match rmd_certify::certify_pair(&original, &suspect, options) {
+            Ok(stats) => {
+                let headline = format!(
+                    "equivalent: `{spec}` and `{b_spec}` admit the same placements in \
+                     every reachable scheduling state"
+                );
+                Ok(render_certify_clean(&report, format, &headline, &stats))
+            }
+            Err(failure) => Err(certify_failure(
+                report,
+                format,
+                &original,
+                Some(&suspect),
+                &failure,
+            )),
+        };
+    }
+
+    match rmd_certify::certify_machine(&original, &spec_key(spec), options) {
+        Ok(cert) => {
+            let mut text = match format {
+                ReportFormat::Text => render_cert_text(&cert),
+                ReportFormat::Json => cert.render_json(),
+                ReportFormat::Sarif => {
+                    let mut s = report.render_sarif();
+                    s.push('\n');
+                    s
+                }
+            };
+            if let Some(dir) = out_dir {
+                let path = write_certificate(&cert, dir)?;
+                let _ = writeln!(text, "[wrote {}]", path.display());
+            }
+            Ok(text)
+        }
+        Err(failure) => Err(certify_failure(report, format, &original, None, &failure)),
+    }
 }
 
 /// Executes a command, returning its stdout text.
@@ -712,19 +1169,25 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         }
         Command::Lint {
             machine,
-            json,
+            format,
             deny_warnings,
         } => {
             let mut report = lint_spec(machine)?;
             if *deny_warnings {
                 report.escalate_warnings();
             }
-            let rendered = if *json {
-                let mut j = report.render_json();
-                j.push('\n');
-                j
-            } else {
-                report.render_text()
+            let rendered = match format {
+                ReportFormat::Text => report.render_text(),
+                ReportFormat::Json => {
+                    let mut j = report.render_json();
+                    j.push('\n');
+                    j
+                }
+                ReportFormat::Sarif => {
+                    let mut s = report.render_sarif();
+                    s.push('\n');
+                    s
+                }
             };
             if report.errors() > 0 {
                 return Err(CliError::Lint {
@@ -733,6 +1196,31 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 });
             }
             out.push_str(&rendered);
+        }
+        Command::Certify {
+            machine,
+            against,
+            mutant,
+            out: out_dir,
+            format,
+            max_ii,
+            budget,
+        } => {
+            let options = rmd_certify::CertifyOptions {
+                max_ii: *max_ii,
+                global_budget: budget
+                    .unwrap_or(rmd_certify::CertifyOptions::default().global_budget),
+                ..rmd_certify::CertifyOptions::default()
+            };
+            let text = run_certify(
+                machine,
+                against.as_deref(),
+                *mutant,
+                out_dir.as_deref(),
+                *format,
+                &options,
+            )?;
+            out.push_str(&text);
         }
         Command::Bench {
             machines,
@@ -886,10 +1374,23 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             deadline_ms,
             chaos,
             metrics,
+            certs,
+            uncertified,
         } => {
             // Replies go to stdout (stdio mode) or the socket; the run
             // summary goes to stderr inside the daemon. Nothing is
             // returned here so stdout stays a pure reply stream.
+            //
+            // The certificate gate is on by default: a machine is only
+            // admitted when some certificate under the cert directory
+            // (default `certs/`) vouches for its content fingerprint.
+            let cert_dir = if *uncertified {
+                None
+            } else {
+                Some(std::path::PathBuf::from(
+                    certs.as_deref().unwrap_or("certs"),
+                ))
+            };
             let opts = rmd_serve::ServeOptions {
                 socket: socket.as_ref().map(std::path::PathBuf::from),
                 queue_cap: queue.unwrap_or(64),
@@ -897,6 +1398,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 engine: rmd_serve::EngineConfig {
                     default_deadline_ms: deadline_ms.unwrap_or(0),
                     chaos: chaos.map(rmd_serve::Chaos::new),
+                    cert_dir,
                     ..rmd_serve::EngineConfig::default()
                 },
                 ..rmd_serve::ServeOptions::default()
@@ -978,6 +1480,8 @@ USAGE:
     rmd render <machine>                     ASCII reservation tables
     rmd table  <machine>                     paper-style reduction report
     rmd lint   <machine> [options]           lint the description
+    rmd certify <machine> [options]          prove reductions equivalent ->
+                                             certs/<machine>.json
     rmd bench  [<machine>...] [options]      perf workloads -> BENCH_*.json
     rmd profile <machine> [options]          traced run -> phase/latency report
     rmd serve  [options]                     line-JSON scheduling daemon
@@ -989,8 +1493,25 @@ OPTIONS (reduce):
     --emit-mdl                               print the reduced machine as MDL
 
 OPTIONS (lint):
-    --format text|json                       report format [text]
+    --format text|json|sarif                 report format [text]
     --deny warnings                          treat warnings as errors
+
+OPTIONS (certify):
+    --out <DIR>                              write the certificate JSON to
+                                             DIR/<machine>.json
+    --against <machine>                      prove equivalence of two given
+                                             descriptions instead of the
+                                             machine's own reductions
+    --mutant <OP:SEED>                       certify a seeded rmd-fault
+                                             mutant against the original;
+                                             counterexamples are replayed
+                                             through the runtime query
+                                             modules
+    --format text|json|sarif                 result format [text]
+    --max-ii <N>                             cap the modulo pass's II bound
+                                             (default: the complete bound)
+    --budget <N>                             global-pass product-state
+                                             budget
 
 OPTIONS (bench):
     --quick                                  smaller workloads (CI smoke)
@@ -1020,6 +1541,11 @@ OPTIONS (serve):
                                              (corrupt/slow/panic ~1/10 each)
     --metrics <FILE>                         write flushed rmd-obs metrics
                                              JSON here [stderr]
+    --certs <DIR>                            admit only machines some
+                                             certificate in DIR vouches
+                                             for [certs]
+    --uncertified                            serve without the certificate
+                                             gate
 
 Valid --backend names: discrete, bitvec, compiled, modulo_discrete,
 modulo_bitvec; anything else is a usage error (exit 2).
@@ -1036,10 +1562,20 @@ failures (--out / --table6) exit with code 7.
 Lint exits 0 when no error-severity findings remain and 6 otherwise;
 the report is always printed on stdout.
 
+Certify statically proves that every reduction of the machine admits
+exactly the same placements as the original, in every reachable linear
+and modulo scheduling state, and writes a deterministic certificate
+that `rmd serve` checks before admitting the machine. It exits 0 on a
+proof and 9 on a disproof (printing the counterexample trace) or when
+the proof cannot be completed.
+
 Serve answers every request in-band with a typed JSON reply and exits 0
 on a graceful drain (SIGTERM, EOF, or a `shutdown` request); only
 transport setup failures (e.g. the socket path cannot be bound) exit
-with code 8.
+with code 8. Machines are admitted only when a certificate under the
+--certs directory vouches for their content fingerprint, unless
+--uncertified is given; uncertified machines are refused with a typed
+`uncertified` reply.
 
 <machine> is a built-in model name (fig1, mips, alpha, cydra5,
 cydra5-subset) or a path to an .mdl file.
@@ -1106,8 +1642,25 @@ mod tests {
                 deadline_ms: Some(250),
                 chaos: Some(197),
                 metrics: Some("metrics.json".into()),
+                certs: None,
+                uncertified: false,
             }
         );
+        let c = parse_args(&args(&["serve", "--certs", "my-certs"])).expect("parses");
+        assert_eq!(
+            c,
+            Command::Serve {
+                socket: None,
+                queue: None,
+                deadline_ms: None,
+                chaos: None,
+                metrics: None,
+                certs: Some("my-certs".into()),
+                uncertified: false,
+            }
+        );
+        let c = parse_args(&args(&["serve", "--uncertified"])).expect("parses");
+        assert!(matches!(c, Command::Serve { uncertified: true, .. }));
     }
 
     #[test]
@@ -1119,6 +1672,8 @@ mod tests {
             &["serve", "--deadline-ms", "-1"],
             &["serve", "--chaos"],
             &["serve", "--metrics"],
+            &["serve", "--certs"],
+            &["serve", "--certs", "c", "--uncertified"],
             &["serve", "--nope"],
         ] {
             let e = usage_error(bad);
@@ -1137,6 +1692,8 @@ mod tests {
             deadline_ms: None,
             chaos: None,
             metrics: None,
+            certs: None,
+            uncertified: true,
         };
         let e = run(&cmd).expect_err("bind must fail");
         assert_eq!(e.exit_code(), 8);
@@ -1249,8 +1806,18 @@ mod lint_tests {
             c,
             Command::Lint {
                 machine: "mips".into(),
-                json: true,
+                format: ReportFormat::Json,
                 deny_warnings: true,
+            }
+        );
+        let c = parse_args(&["lint", "mips", "--format", "sarif"].map(String::from))
+            .expect("valid command line");
+        assert_eq!(
+            c,
+            Command::Lint {
+                machine: "mips".into(),
+                format: ReportFormat::Sarif,
+                deny_warnings: false,
             }
         );
         for bad in [
@@ -1269,7 +1836,7 @@ mod lint_tests {
         for name in MODEL_NAMES {
             let out = run(&Command::Lint {
                 machine: name.into(),
-                json: false,
+                format: ReportFormat::Text,
                 deny_warnings: true,
             })
             .expect("built-ins pass --deny warnings");
@@ -1281,7 +1848,7 @@ mod lint_tests {
     fn error_fixture_exits_with_code_6_and_keeps_the_report() {
         match run(&Command::Lint {
             machine: fixture("l005_table_overrun.mdl"),
-            json: false,
+            format: ReportFormat::Text,
             deny_warnings: false,
         }) {
             Err(e @ CliError::Lint { .. }) => {
@@ -1301,14 +1868,14 @@ mod lint_tests {
         let spec = fixture("l001_dead_resource.mdl");
         let out = run(&Command::Lint {
             machine: spec.clone(),
-            json: false,
+            format: ReportFormat::Text,
             deny_warnings: false,
         })
         .expect("warnings alone exit 0");
         assert!(out.contains("RMD-L001"), "{out}");
         let e = run(&Command::Lint {
             machine: spec,
-            json: false,
+            format: ReportFormat::Text,
             deny_warnings: true,
         })
         .expect_err("--deny warnings escalates");
@@ -1319,24 +1886,255 @@ mod lint_tests {
     fn json_format_is_one_line_and_machine_readable() {
         let out = run(&Command::Lint {
             machine: "fig1".into(),
-            json: true,
+            format: ReportFormat::Json,
             deny_warnings: false,
         })
         .expect("fig1 lints clean of errors");
         assert_eq!(out.lines().count(), 1, "{out}");
         assert!(out.starts_with("{\"subject\":\"fig1\""), "{out}");
         assert!(out.contains("\"errors\":0"), "{out}");
+        // The report carries the same content fingerprint `rmd serve`
+        // caches under and `rmd certify` binds certificates to.
+        let fp = rmd_machine::content_fingerprint(&models::example_machine());
+        assert!(out.contains(&format!("\"fingerprint\":\"{fp}\"")), "{out}");
+    }
+
+    #[test]
+    fn sarif_format_is_a_valid_log() {
+        let out = run(&Command::Lint {
+            machine: "fig1".into(),
+            format: ReportFormat::Sarif,
+            deny_warnings: false,
+        })
+        .expect("fig1 lints clean of errors");
+        assert!(out.contains("\"version\":\"2.1.0\""), "{out}");
+        assert!(
+            serde_json::from_str(&out).is_ok(),
+            "{out}"
+        );
     }
 
     #[test]
     fn missing_lint_input_is_a_parse_error() {
         let e = run(&Command::Lint {
             machine: "/no/such/file.mdl".into(),
-            json: false,
+            format: ReportFormat::Text,
             deny_warnings: false,
         })
         .expect_err("missing file");
         assert_eq!(e.exit_code(), 3);
+    }
+}
+
+#[cfg(test)]
+mod certify_tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_certify_with_options() {
+        let c = parse_args(&args(&[
+            "certify",
+            "fig1",
+            "--out",
+            "certs",
+            "--format",
+            "json",
+            "--max-ii",
+            "12",
+            "--budget",
+            "1000",
+        ]))
+        .expect("valid command line");
+        assert_eq!(
+            c,
+            Command::Certify {
+                machine: "fig1".into(),
+                against: None,
+                mutant: None,
+                out: Some("certs".into()),
+                format: ReportFormat::Json,
+                max_ii: Some(12),
+                budget: Some(1000),
+            }
+        );
+        let c = parse_args(&args(&["certify", "fig1", "--mutant", "drop-usage:3"]))
+            .expect("valid command line");
+        assert_eq!(
+            c,
+            Command::Certify {
+                machine: "fig1".into(),
+                against: None,
+                mutant: Some((rmd_fault::MutationOp::DropUsage, 3)),
+                out: None,
+                format: ReportFormat::Text,
+                max_ii: None,
+                budget: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_certify_usage_with_exit_code_2() {
+        for bad in [
+            &["certify"][..],
+            &["certify", "fig1", "--mutant"][..],
+            &["certify", "fig1", "--mutant", "drop-usage"][..],
+            &["certify", "fig1", "--mutant", "warp-drive:3"][..],
+            &["certify", "fig1", "--mutant", "drop-usage:many"][..],
+            &["certify", "fig1", "--against", "mips", "--mutant", "drop-usage:3"][..],
+            &["certify", "fig1", "--against", "mips", "--out", "certs"][..],
+            &["certify", "fig1", "--format", "yaml"][..],
+            &["certify", "fig1", "--max-ii", "0"][..],
+            &["certify", "fig1", "--budget", "lots"][..],
+            &["certify", "fig1", "--bogus"][..],
+        ] {
+            let e = parse_args(&args(bad)).expect_err("usage error");
+            assert_eq!(e.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    /// Builds a `certify` command; `out`, `against`, `mutant`, and
+    /// `format` vary per test, the budget knobs stay at their defaults.
+    fn certify_with(
+        machine: &str,
+        against: Option<&str>,
+        mutant: Option<(rmd_fault::MutationOp, u64)>,
+        out: Option<&str>,
+        format: ReportFormat,
+    ) -> Command {
+        Command::Certify {
+            machine: machine.into(),
+            against: against.map(str::to_owned),
+            mutant,
+            out: out.map(str::to_owned),
+            format,
+            max_ii: None,
+            budget: None,
+        }
+    }
+
+    #[test]
+    fn certifies_fig1_and_writes_a_vouching_certificate() {
+        let dir = std::env::temp_dir().join(format!("rmd-certify-cli-{}", std::process::id()));
+        let out = run(&certify_with(
+            "fig1",
+            None,
+            None,
+            Some(&dir.to_string_lossy()),
+            ReportFormat::Text,
+        ))
+        .expect("fig1 certifies");
+        assert!(out.contains("certified equivalent"), "{out}");
+        assert!(out.contains("[wrote "), "{out}");
+        let body = std::fs::read_to_string(dir.join("fig1.json")).expect("cert written");
+        let fp = rmd_machine::content_fingerprint(&models::example_machine());
+        assert!(rmd_certify::Certificate::vouches_for(&body, &fp), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_format_emits_the_certificate_itself() {
+        let out = run(&certify_with("fig1", None, None, None, ReportFormat::Json))
+            .expect("fig1 certifies");
+        assert!(out.contains("\"schema\": \"rmd-cert/1\""), "{out}");
+        assert!(out.contains("\"status\": \"equivalent\""), "{out}");
+    }
+
+    #[test]
+    fn against_mode_proves_a_machine_equivalent_to_itself() {
+        let out = run(&certify_with(
+            "fig1",
+            Some("fig1"),
+            None,
+            None,
+            ReportFormat::Text,
+        ))
+        .expect("fig1 == fig1");
+        assert!(out.contains("equivalent"), "{out}");
+        assert!(out.contains("pairs"), "{out}");
+    }
+
+    #[test]
+    fn against_mode_disproves_with_exit_code_9() {
+        // fig1 and mips do not even share an operation set: the proof
+        // cannot be attempted, which is still a certification failure.
+        let e = run(&certify_with(
+            "fig1",
+            Some("mips"),
+            None,
+            None,
+            ReportFormat::Text,
+        ))
+        .expect_err("fig1 != mips");
+        assert_eq!(e.exit_code(), 9);
+        let CliError::Certify { report, message } = e else {
+            panic!("expected a certify error");
+        };
+        assert!(report.contains("certification failed"), "{report}");
+        assert!(message.contains("operation sets differ"), "{message}");
+    }
+
+    #[test]
+    fn semantic_mutant_yields_a_confirmed_counterexample_and_exit_9() {
+        // Find a seeded description-level mutant that changes the
+        // forbidden-latency matrix, then certify it through the CLI: the
+        // prover must report a counterexample (never panic) and the
+        // runtime replay must confirm it.
+        let m = models::example_machine();
+        let (op, seed) = rmd_fault::ALL_OPERATORS
+            .into_iter()
+            .flat_map(|op| (0..8).map(move |s| (op, s)))
+            .find(|&(op, seed)| {
+                rmd_fault::mutate(&m, op, seed).is_some_and(|mu| {
+                    matches!(
+                        mu.payload,
+                        rmd_fault::MutantPayload::Machine(_)
+                            | rmd_fault::MutantPayload::ReducedMachine(_)
+                    ) && mu.is_semantic(&m)
+                })
+            })
+            .expect("fig1 has semantic description mutants");
+        let e = run(&certify_with(
+            "fig1",
+            None,
+            Some((op, seed)),
+            None,
+            ReportFormat::Text,
+        ))
+        .expect_err("semantic mutant must be disproved");
+        assert_eq!(e.exit_code(), 9, "{op}:{seed}");
+        let CliError::Certify { report, .. } = e else {
+            panic!("expected a certify error");
+        };
+        assert!(report.contains("counterexample"), "{report}");
+        assert!(
+            report.contains("runtime replay confirms the divergence"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn sarif_failure_report_is_valid_json_with_the_finding() {
+        let e = run(&certify_with(
+            "fig1",
+            Some("mips"),
+            None,
+            None,
+            ReportFormat::Sarif,
+        ))
+        .expect_err("fig1 != mips");
+        let CliError::Certify { report, .. } = e else {
+            panic!("expected a certify error");
+        };
+        assert!(report.contains("\"ruleId\":\"RMD-C002\""), "{report}");
+        assert!(
+            serde_json::from_str(&report).is_ok(),
+            "{report}"
+        );
     }
 }
 

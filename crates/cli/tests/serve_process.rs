@@ -1,7 +1,8 @@
-//! End-to-end daemon smoke test against the real `rmd` binary: pipeline
-//! requests over a unix socket, SIGTERM mid-burst, and assert a clean
-//! drain — exit 0, every admitted frame answered, metrics flushed, and
-//! no panic in stderr.
+//! End-to-end daemon smoke test against the real `rmd` binary: certify
+//! a machine, pipeline requests over a unix socket behind the
+//! certificate gate, SIGTERM mid-burst, and assert a clean drain — exit
+//! 0, every admitted frame answered, uncertified machines refused,
+//! metrics flushed, and no panic in stderr.
 
 #![cfg(unix)]
 
@@ -27,6 +28,15 @@ fn pipelined_socket_burst_with_sigterm_drains_cleanly() {
     std::fs::create_dir_all(&dir).expect("create tmp dir");
     let socket = dir.join("rmd.sock");
     let metrics = dir.join("metrics.json");
+    let certs = dir.join("certs");
+
+    // Certify fig1 through the real binary first: the daemon serves
+    // behind the certificate gate and must admit only vouched machines.
+    let certify = Command::new(env!("CARGO_BIN_EXE_rmd"))
+        .args(["certify", "fig1", "--out", certs.to_str().unwrap()])
+        .output()
+        .expect("run rmd certify");
+    assert!(certify.status.success(), "{certify:?}");
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_rmd"))
         .args([
@@ -37,6 +47,8 @@ fn pipelined_socket_burst_with_sigterm_drains_cleanly() {
             "256",
             "--metrics",
             metrics.to_str().unwrap(),
+            "--certs",
+            certs.to_str().unwrap(),
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -61,6 +73,22 @@ fn pipelined_socket_burst_with_sigterm_drains_cleanly() {
         .and_then(|f| f.as_str())
         .expect("fingerprint")
         .to_string();
+
+    // A machine without a vouching certificate is refused, typed.
+    writer
+        .write_all(b"{\"type\":\"machine\",\"model\":\"mips\",\"id\":900}\n")
+        .expect("write uncertified machine frame");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("uncertified reply");
+    let v: serde_json::Value = serde_json::from_str(&line).expect("uncertified reply JSON");
+    assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(false), "{line}");
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("uncertified"),
+        "{line}"
+    );
 
     let mut burst = String::new();
     for i in 1..=100 {

@@ -41,6 +41,7 @@
 
 mod error;
 mod fallback;
+pub mod fingerprints;
 mod genset;
 mod prune;
 mod reduce;

@@ -10,6 +10,11 @@
 //! differential query-trace replayer — must notice every corruption
 //! that changes scheduling behavior.
 //!
+//! The harness also closes the loop with the static prover: when
+//! `rmd certify` disproves an equivalence, its counterexample trace is
+//! handed to [intake](intake::confirm_counterexample) for independent
+//! confirmation by the runtime query modules.
+//!
 //! The [audit](audit::audit_model) reports a **mutation-kill score**;
 //! the workspace's tier-1 tests pin it at 100% on the paper's models,
 //! and `cargo run -p rmd-fault --bin mutation-audit` reproduces the
@@ -23,11 +28,13 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod intake;
 pub mod mutate;
 pub mod oracle;
 pub mod rng;
 
 pub use audit::{audit_model, AuditReport, OperatorStats};
+pub use intake::confirm_counterexample;
 pub use mutate::{mutate, Mutant, MutantPayload, MutationOp, ALL_OPERATORS};
 pub use oracle::{
     matrix_oracle, record_linear_trace, record_modulo_trace, replay_diff, trace_oracle,

@@ -44,6 +44,7 @@
 
 pub mod alternatives;
 mod builder;
+mod fingerprint;
 mod ids;
 #[cfg(feature = "json")]
 pub mod json;
@@ -54,6 +55,7 @@ pub mod render;
 mod table;
 
 pub use builder::{MachineBuilder, OperationBuilder};
+pub use fingerprint::content_fingerprint;
 pub use ids::{OpId, ResourceId};
 pub use machine::{MachineDescription, MachineError, Operation, Resource};
 pub use table::{ReservationTable, Usage};

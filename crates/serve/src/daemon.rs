@@ -192,7 +192,7 @@ fn summary_of(engine: &ServeEngine) -> ServeSummary {
 pub fn run(opts: &ServeOptions) -> Result<ServeSummary, ServeError> {
     signal::install_sigterm_handler();
     signal::set_shutdown(false);
-    let mut engine = ServeEngine::new(opts.engine);
+    let mut engine = ServeEngine::new(opts.engine.clone());
     match &opts.socket {
         None => {
             let writer: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
@@ -279,7 +279,7 @@ mod tests {
     fn run_lines(lines: &str, opts: &ServeOptions) -> (Vec<serde_json::Value>, ServeSummary) {
         let _g = FLAG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         signal::set_shutdown(false);
-        let mut engine = ServeEngine::new(opts.engine);
+        let mut engine = ServeEngine::new(opts.engine.clone());
         let buf = SharedBuf::default();
         let writer: SharedWriter = Arc::new(Mutex::new(Box::new(buf.clone())));
         serve_stream(

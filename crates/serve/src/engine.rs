@@ -27,7 +27,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`ServeEngine`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Maximum machines cached at once (LRU beyond that).
     pub machine_cap: usize,
@@ -41,6 +41,11 @@ pub struct EngineConfig {
     pub max_frame_bytes: usize,
     /// Deterministic fault injection, when enabled.
     pub chaos: Option<Chaos>,
+    /// When set, a machine is admitted only if some `*.json` file in
+    /// this directory is an `rmd certify` certificate vouching for its
+    /// content fingerprint; others are refused with an `uncertified`
+    /// reply. `None` (the default) disables the gate.
+    pub cert_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -52,8 +57,29 @@ impl Default for EngineConfig {
             max_threads: 8,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             chaos: None,
+            cert_dir: None,
         }
     }
+}
+
+/// Whether any `*.json` certificate in `dir` vouches for fingerprint
+/// `fp`. Unreadable directories or files simply fail to vouch — the
+/// gate's failure mode is refusal, never a panic.
+fn certificate_vouches(dir: &std::path::Path, fp: &str) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|x| x == "json") {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if rmd_certify::Certificate::vouches_for(&text, fp) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
 }
 
 /// Loops scheduled between deadline checks in a suite request.
@@ -357,6 +383,14 @@ impl ServeEngine {
                 .num("operations", entry.original.num_operations() as u64)
                 .finish();
             return Ok(reply);
+        }
+        // Certificate gate: an uncached machine is admitted only when a
+        // certificate on disk vouches for its content fingerprint.
+        // (Cache hits above were certified at admission.)
+        if let Some(dir) = &self.cfg.cert_dir {
+            if !certificate_vouches(dir, &fp) {
+                return Err(ServeError::Uncertified { fingerprint: fp });
+            }
         }
         deadline.check()?;
         let layout = WordLayout::widest(64, m.num_resources());
@@ -854,5 +888,54 @@ mod tests {
         // ...and resubmitting it heals the daemon in place.
         let fp2 = submit_fig1(&mut e);
         assert_eq!(fp, fp2);
+    }
+
+    #[test]
+    fn certificate_gate_refuses_unvouched_machines() {
+        let dir = std::env::temp_dir().join(format!(
+            "rmd-serve-certgate-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp cert dir");
+
+        let mut e = ServeEngine::new(EngineConfig {
+            cert_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        });
+        // No certificates on disk: refusal with the typed reply.
+        let (reply, _) =
+            e.handle_line(r#"{"type":"machine","model":"fig1","id":7}"#, Instant::now());
+        let v = serde_json::from_str(&reply).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(|k| k.as_str()),
+            Some("uncertified"),
+            "{reply}"
+        );
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("code")).and_then(|c| c.as_u64()),
+            Some(105)
+        );
+
+        // Certify fig1 for real and drop the certificate in place: the
+        // same request is now admitted, and stays admitted from cache.
+        let cert = rmd_certify::certify_machine(
+            &models::example_machine(),
+            "fig1",
+            &rmd_certify::CertifyOptions::default(),
+        )
+        .expect("fig1 certifies");
+        std::fs::write(dir.join("fig1.json"), cert.render_json()).expect("write cert");
+        let v = ok_reply(&mut e, r#"{"type":"machine","model":"fig1"}"#);
+        assert_eq!(v.get("cached").and_then(|c| c.as_bool()), Some(false));
+        let v = ok_reply(&mut e, r#"{"type":"machine","model":"fig1"}"#);
+        assert_eq!(v.get("cached").and_then(|c| c.as_bool()), Some(true));
+
+        // A machine the certificate does not vouch for is still refused.
+        let (reply, _) =
+            e.handle_line(r#"{"type":"machine","model":"mips"}"#, Instant::now());
+        assert!(reply.contains("\"uncertified\""), "{reply}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

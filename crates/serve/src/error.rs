@@ -43,6 +43,13 @@ pub enum ServeError {
         /// The fingerprint the client sent.
         got: String,
     },
+    /// The daemon requires certificates and none on disk vouches for
+    /// this machine. Run `rmd certify <machine> --out <dir>` or start
+    /// the daemon with `--uncertified`.
+    Uncertified {
+        /// The content fingerprint no certificate vouches for.
+        fingerprint: String,
+    },
     /// A core pipeline error, carrying the full [`RmdError`] taxonomy.
     Rmd(RmdError),
     /// The request missed its deadline.
@@ -74,6 +81,7 @@ impl ServeError {
             ServeError::UnknownType { .. } => 102,
             ServeError::BadRequest { .. } => 103,
             ServeError::UnknownFingerprint { .. } => 104,
+            ServeError::Uncertified { .. } => 105,
             ServeError::Rmd(e) => match e {
                 RmdError::Parse(_) => 110,
                 RmdError::InvalidMachine(_) => 111,
@@ -102,6 +110,7 @@ impl ServeError {
             ServeError::UnknownType { .. } => "unknown_type",
             ServeError::BadRequest { .. } => "bad_request",
             ServeError::UnknownFingerprint { .. } => "unknown_fingerprint",
+            ServeError::Uncertified { .. } => "uncertified",
             ServeError::Rmd(e) => match e {
                 RmdError::Parse(_) => "parse",
                 RmdError::InvalidMachine(_) => "invalid_machine",
@@ -132,6 +141,10 @@ impl ServeError {
             ServeError::UnknownFingerprint { got } => {
                 format!("no machine cached under fingerprint {got:?}")
             }
+            ServeError::Uncertified { fingerprint } => format!(
+                "no certificate vouches for machine {fingerprint:?}; \
+                 run `rmd certify` first or serve with --uncertified"
+            ),
             ServeError::Rmd(e) => e.to_string(),
             ServeError::Timeout { deadline_ms } => {
                 format!("request missed its {deadline_ms}ms deadline")
@@ -282,6 +295,9 @@ mod tests {
             },
             ServeError::UnknownFingerprint {
                 got: "rmd-0000".to_string(),
+            },
+            ServeError::Uncertified {
+                fingerprint: "rmd-0000".to_string(),
             },
             ServeError::Timeout { deadline_ms: 5 },
             ServeError::Overloaded { retry_after_ms: 1 },

@@ -5,29 +5,24 @@
 //! submissions of the same machine — whether by built-in model name or
 //! by equivalent `.mdl` source — therefore share one cache entry, and a
 //! client can precompute the key offline with the `rmd render` output.
+//!
+//! The hash itself lives in `rmd-machine` ([`content_fingerprint`]) so
+//! that `rmd certify` and `rmd lint` key their artifacts identically;
+//! this module re-exposes it under the name the serve crate has always
+//! used.
 
-use rmd_machine::{mdl, MachineDescription};
-
-/// FNV-1a 64-bit over `bytes`.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+use rmd_machine::{content_fingerprint, MachineDescription};
 
 /// The fingerprint of `machine`: `rmd-` + 16 lowercase hex digits of
 /// the FNV-1a hash of its canonical MDL rendering.
 pub fn fingerprint(machine: &MachineDescription) -> String {
-    format!("rmd-{:016x}", fnv1a64(mdl::print(machine).as_bytes()))
+    content_fingerprint(machine)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmd_machine::models;
+    use rmd_machine::{mdl, models};
 
     #[test]
     fn deterministic_and_model_sensitive() {
