@@ -10,6 +10,7 @@
 //! rmd render <machine>                  # ASCII reservation tables
 //! rmd lint   <machine> [options]        # description lints
 //! rmd certify <machine> [options]       # static equivalence proof -> cert
+//! rmd fuzz   [options]                  # generative differential fuzzing
 //! rmd bench  [<machine>...] [options]   # perf workloads -> BENCH_*.json
 //! rmd profile <machine> [options]       # traced run -> phase/latency report
 //! rmd models                            # list built-in models
@@ -44,6 +45,8 @@ use std::fmt::Write as _;
 /// | `Export`         | 7         | profile/trace export could not be written |
 /// | `Serve`          | 8         | daemon transport could not be set up      |
 /// | `Certify`        | 9         | equivalence certification failed          |
+/// | `Fuzz`           | 10        | fuzz campaign found divergences, or a     |
+/// |                  |           | corpus replay violated an expectation     |
 /// | `Internal`       | 1         | unexpected pipeline failure               |
 #[derive(Clone, PartialEq, Debug)]
 #[non_exhaustive]
@@ -103,6 +106,16 @@ pub enum CliError {
         /// One-line failure summary for stderr.
         message: String,
     },
+    /// `rmd fuzz` found pipeline divergences (minimized failures in the
+    /// report), or a regression-corpus replay violated an entry's
+    /// expectation.
+    Fuzz {
+        /// The full rendered campaign report or replay transcript; the
+        /// binary prints this on stdout before exiting.
+        report: String,
+        /// One-line failure summary for stderr.
+        message: String,
+    },
     /// An unexpected internal failure.
     Internal(String),
 }
@@ -120,6 +133,7 @@ impl CliError {
             CliError::Export { .. } => 7,
             CliError::Serve { .. } => 8,
             CliError::Certify { .. } => 9,
+            CliError::Fuzz { .. } => 10,
             CliError::Internal(_) => 1,
         }
     }
@@ -140,6 +154,7 @@ impl std::fmt::Display for CliError {
             }
             CliError::Serve { message } => write!(f, "serve: {message}"),
             CliError::Certify { message, .. } => write!(f, "certify: {message}"),
+            CliError::Fuzz { message, .. } => write!(f, "fuzz: {message}"),
             CliError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -229,6 +244,24 @@ pub enum Command {
         max_ii: Option<u32>,
         /// Override the global pass's product-state budget.
         budget: Option<u64>,
+    },
+    /// `rmd fuzz [--seed N] [--count N] [--size small|medium|large]
+    /// [--mutant OP:SEED] [--corpus DIR] [--replay]`
+    Fuzz {
+        /// Base seed of the campaign.
+        seed: u64,
+        /// Generated machines to push through the pipeline.
+        count: u32,
+        /// Generator size preset name (`small`, `medium`, `large`).
+        size: String,
+        /// Inject this seeded rmd-fault mutation into every case's
+        /// reduction output (the harness self-test mode).
+        mutant: Option<(rmd_fault::MutationOp, u64)>,
+        /// Regression-corpus directory: minimized failures are written
+        /// here, and `--replay` reads it back.
+        corpus: Option<String>,
+        /// Replay the corpus directory instead of running a campaign.
+        replay: bool,
     },
     /// `rmd bench [<machine>...] [--quick] [--threads N] [--out DIR]
     /// [--backend NAME]`
@@ -488,6 +521,85 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 format,
                 max_ii,
                 budget,
+            })
+        }
+        "fuzz" => {
+            let mut seed = 0u64;
+            let mut count = 100u32;
+            let mut size = "small".to_owned();
+            let mut mutant = None;
+            let mut corpus = None;
+            let mut replay = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seed" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--seed expects a number".to_owned())
+                        })?;
+                        seed = v.parse().map_err(|_| {
+                            CliError::Usage(format!("--seed expects a number, got `{v}`"))
+                        })?;
+                    }
+                    "--count" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--count expects a positive number".to_owned())
+                        })?;
+                        let n: u32 = v.parse().map_err(|_| {
+                            CliError::Usage(format!(
+                                "--count expects a positive number, got `{v}`"
+                            ))
+                        })?;
+                        if n == 0 {
+                            return Err(CliError::Usage(
+                                "--count must be at least 1".to_owned(),
+                            ));
+                        }
+                        count = n;
+                    }
+                    "--size" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage(
+                                "--size expects `small`, `medium`, or `large`".to_owned(),
+                            )
+                        })?;
+                        if rmd_fault::GenConfig::preset(v).is_none() {
+                            return Err(CliError::Usage(format!(
+                                "--size expects `small`, `medium`, or `large`, got `{v}`"
+                            )));
+                        }
+                        size = v.clone();
+                    }
+                    "--mutant" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--mutant expects OP:SEED".to_owned())
+                        })?;
+                        mutant = Some(parse_mutant(v)?);
+                    }
+                    "--corpus" => {
+                        corpus = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--corpus expects a directory".to_owned())
+                        })?);
+                    }
+                    "--replay" => replay = true,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown option `{other}`")))
+                    }
+                }
+            }
+            if replay && mutant.is_some() {
+                return Err(CliError::Usage(
+                    "--replay re-injects each entry's recorded mutant; --mutant does \
+                     not apply"
+                        .to_owned(),
+                ));
+            }
+            Ok(Command::Fuzz {
+                seed,
+                count,
+                size,
+                mutant,
+                corpus,
+                replay,
             })
         }
         "bench" => {
@@ -1090,6 +1202,101 @@ fn run_certify(
     }
 }
 
+/// The `rmd fuzz` command body.
+///
+/// Campaign mode generates `count` machines from `seed` and pushes each
+/// through the differential pipeline; minimized failures are written
+/// into the corpus directory (when given) and the run exits 10.
+/// `--replay` instead re-runs every `.mdl` entry under the corpus
+/// directory and checks its recorded expectation.
+fn run_fuzz(
+    seed: u64,
+    count: u32,
+    size: &str,
+    mutant: Option<(rmd_fault::MutationOp, u64)>,
+    corpus: Option<&str>,
+    replay: bool,
+) -> Result<String, CliError> {
+    let cap = 1 << 18;
+    if replay {
+        let dir = corpus.unwrap_or("corpus");
+        let mut entries: Vec<(String, String)> = Vec::new();
+        let read = std::fs::read_dir(dir).map_err(|e| CliError::Parse {
+            spec: dir.to_owned(),
+            message: format!("cannot read corpus directory: {e}"),
+        })?;
+        for item in read {
+            let path = item
+                .map_err(|e| CliError::Parse {
+                    spec: dir.to_owned(),
+                    message: e.to_string(),
+                })?
+                .path();
+            if path.extension().is_some_and(|x| x == "mdl") {
+                let text = std::fs::read_to_string(&path).map_err(|e| CliError::Parse {
+                    spec: path.display().to_string(),
+                    message: format!("cannot read: {e}"),
+                })?;
+                entries.push((path.display().to_string(), text));
+            }
+        }
+        entries.sort();
+        return match rmd_fault::replay_corpus(&entries) {
+            Ok(summaries) => {
+                let mut out = String::new();
+                for s in &summaries {
+                    let _ = writeln!(out, "{s}");
+                }
+                let _ = writeln!(out, "replayed {} corpus entries, all expectations hold", summaries.len());
+                Ok(out)
+            }
+            Err(message) => Err(CliError::Fuzz {
+                report: format!("{message}\n"),
+                message,
+            }),
+        };
+    }
+
+    let cfg = rmd_fault::FuzzConfig {
+        seed,
+        count,
+        size: rmd_fault::GenConfig::preset(size)
+            .ok_or_else(|| CliError::Usage(format!("unknown size preset `{size}`")))?,
+        mutant,
+        automata_cap: cap,
+    };
+    let report = rmd_fault::fuzz(&cfg);
+    let mut rendered = report.render();
+    if !report.is_clean() {
+        if let Some(dir_str) = corpus {
+            let dir = std::path::Path::new(dir_str);
+            std::fs::create_dir_all(dir).map_err(|e| CliError::Export {
+                path: dir_str.to_owned(),
+                message: e.to_string(),
+            })?;
+            for f in &report.failures {
+                let path = dir.join(format!("fuzz-{:016x}.mdl", f.case_seed));
+                std::fs::write(&path, rmd_fault::render_corpus_entry(f)).map_err(|e| {
+                    CliError::Export {
+                        path: path.display().to_string(),
+                        message: e.to_string(),
+                    }
+                })?;
+                let _ = writeln!(rendered, "[wrote {}]", path.display());
+            }
+        }
+        return Err(CliError::Fuzz {
+            report: rendered,
+            message: format!(
+                "{} divergence(s) in {} cases (seed {seed})",
+                report.failures.len(),
+                report.cases
+            ),
+        });
+    }
+    Ok(rendered)
+}
+
 /// Executes a command, returning its stdout text.
 ///
 /// # Errors
@@ -1222,6 +1429,17 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             )?;
             out.push_str(&text);
         }
+        Command::Fuzz {
+            seed,
+            count,
+            size,
+            mutant,
+            corpus,
+            replay,
+        } => {
+            let text = run_fuzz(*seed, *count, size, *mutant, corpus.as_deref(), *replay)?;
+            out.push_str(&text);
+        }
         Command::Bench {
             machines,
             quick,
@@ -1291,6 +1509,19 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                         s.serial_wall_ms,
                         s.parallel_wall_ms,
                         rec.threads,
+                        s.speedup,
+                        s.schedules_identical
+                    );
+                }
+                if let Some(s) = &rec.stress {
+                    let _ = writeln!(
+                        out,
+                        "  stress: {} loops / {} ops; serial {:.0} ms, parallel {:.0} ms \
+                         (speedup {:.2}, identical schedules: {})",
+                        s.loops,
+                        s.ops_scheduled,
+                        s.serial_wall_ms,
+                        s.parallel_wall_ms,
                         s.speedup,
                         s.schedules_identical
                     );
@@ -1482,6 +1713,7 @@ USAGE:
     rmd lint   <machine> [options]           lint the description
     rmd certify <machine> [options]          prove reductions equivalent ->
                                              certs/<machine>.json
+    rmd fuzz   [options]                     generative differential fuzzing
     rmd bench  [<machine>...] [options]      perf workloads -> BENCH_*.json
     rmd profile <machine> [options]          traced run -> phase/latency report
     rmd serve  [options]                     line-JSON scheduling daemon
@@ -1512,6 +1744,18 @@ OPTIONS (certify):
                                              (default: the complete bound)
     --budget <N>                             global-pass product-state
                                              budget
+
+OPTIONS (fuzz):
+    --seed <N>                               base campaign seed [0]
+    --count <N>                              machines to generate [100]
+    --size small|medium|large                generator size envelope [small]
+    --mutant <OP:SEED>                       corrupt every case's reduction
+                                             with this seeded rmd-fault
+                                             operator (harness self-test)
+    --corpus <DIR>                           write minimized failures here
+                                             as replayable .mdl entries
+    --replay                                 replay the corpus directory
+                                             [corpus] instead of fuzzing
 
 OPTIONS (bench):
     --quick                                  smaller workloads (CI smoke)
@@ -1568,6 +1812,14 @@ and modulo scheduling state, and writes a deterministic certificate
 that `rmd serve` checks before admitting the machine. It exits 0 on a
 proof and 9 on a disproof (printing the counterexample trace) or when
 the proof cannot be completed.
+
+Fuzz generates seeded, structure-aware machine descriptions and checks
+render/parse round-trips, lints, both reduction objectives, and a
+differential query trace across all five backends plus the automata
+baseline. Failures are minimized, cross-checked by the static prover,
+and (with --corpus) written as self-contained regression entries; a
+failing campaign or a violated replay expectation exits 10. Equal
+seeds reproduce identical campaigns.
 
 Serve answers every request in-band with a typed JSON reply and exits 0
 on a graceful drain (SIGTERM, EOF, or a `shutdown` request); only
@@ -1698,6 +1950,112 @@ mod tests {
         let e = run(&cmd).expect_err("bind must fail");
         assert_eq!(e.exit_code(), 8);
         assert!(matches!(e, CliError::Serve { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn parses_fuzz_with_options() {
+        let c = parse_args(&args(&["fuzz"])).expect("defaults parse");
+        assert_eq!(
+            c,
+            Command::Fuzz {
+                seed: 0,
+                count: 100,
+                size: "small".into(),
+                mutant: None,
+                corpus: None,
+                replay: false,
+            }
+        );
+        let c = parse_args(&args(&[
+            "fuzz",
+            "--seed",
+            "42",
+            "--count",
+            "500",
+            "--size",
+            "medium",
+            "--mutant",
+            "drop-usage:1",
+            "--corpus",
+            "corpus",
+        ]))
+        .expect("valid command line");
+        assert_eq!(
+            c,
+            Command::Fuzz {
+                seed: 42,
+                count: 500,
+                size: "medium".into(),
+                mutant: Some((rmd_fault::MutationOp::DropUsage, 1)),
+                corpus: Some("corpus".into()),
+                replay: false,
+            }
+        );
+        let c = parse_args(&args(&["fuzz", "--replay", "--corpus", "c"])).expect("parses");
+        assert!(matches!(c, Command::Fuzz { replay: true, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_fuzz_usage_with_exit_code_2() {
+        for bad in [
+            &["fuzz", "--seed"][..],
+            &["fuzz", "--seed", "many"],
+            &["fuzz", "--count", "0"],
+            &["fuzz", "--size", "gigantic"],
+            &["fuzz", "--mutant", "bogus:1"],
+            &["fuzz", "--corpus"],
+            &["fuzz", "--replay", "--mutant", "drop-usage:1"],
+            &["fuzz", "--nope"],
+        ] {
+            let e = usage_error(bad);
+            assert_eq!(e.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn fuzz_campaign_is_clean_at_head() {
+        let out = run(&Command::Fuzz {
+            seed: 0xF00D,
+            count: 5,
+            size: "small".into(),
+            mutant: None,
+            corpus: None,
+            replay: false,
+        })
+        .expect("HEAD finds no divergences");
+        assert!(out.contains("passed            5"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_mutant_campaign_exits_10_and_writes_corpus() {
+        let dir = std::env::temp_dir().join(format!("rmd-fuzz-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = Command::Fuzz {
+            seed: 0xBEEF,
+            count: 8,
+            size: "small".into(),
+            mutant: Some((rmd_fault::MutationOp::DropUsage, 1)),
+            corpus: Some(dir.display().to_string()),
+            replay: false,
+        };
+        let e = run(&cmd).expect_err("semantic mutants must be caught");
+        assert_eq!(e.exit_code(), 10);
+        let CliError::Fuzz { report, .. } = &e else {
+            unreachable!("expected a fuzz error, got {e:?}");
+        };
+        assert!(report.contains("failure: stage differential"), "{report}");
+        // The corpus replays clean through the same CLI path.
+        let replayed = run(&Command::Fuzz {
+            seed: 0,
+            count: 1,
+            size: "small".into(),
+            mutant: None,
+            corpus: Some(dir.display().to_string()),
+            replay: true,
+        })
+        .expect("written corpus replays with expectations held");
+        assert!(replayed.contains("still caught"), "{replayed}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -2283,7 +2641,7 @@ mod bench_tests {
         let path = dir.join("BENCH_fig1.json");
         let body = std::fs::read_to_string(&path).expect("record written");
         assert!(rmd_bench::benchcmd::json_is_well_formed(&body), "{body}");
-        assert!(body.contains("\"schema\": \"rmd-bench/4\""), "{body}");
+        assert!(body.contains("\"schema\": \"rmd-bench/5\""), "{body}");
         assert!(body.contains("\"machine\": \"fig1\""), "{body}");
         assert!(body.contains("\"phases\""), "{body}");
         assert!(body.contains("\"query_window\""), "{body}");

@@ -3,7 +3,8 @@
 //! Exit codes: 0 success, 1 internal error, 2 usage, 3 parse,
 //! 4 validation, 5 verification failure, 6 lint findings at error
 //! severity, 7 export failure, 8 serve transport failure, 9
-//! certification failure (see `rmd_cli::CliError`).
+//! certification failure, 10 fuzz divergence or corpus-replay
+//! violation (see `rmd_cli::CliError`).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,14 +12,14 @@ fn main() {
         Ok(cmd) => match rmd_cli::run(&cmd) {
             Ok(out) => print!("{out}"),
             Err(e) => {
-                // Lint and certify failures still print the full report
-                // (findings, counterexample trace) on stdout so
-                // `--format json`/`--format sarif` output stays
-                // machine-readable; only the one-line summary goes to
-                // stderr.
+                // Lint, certify, and fuzz failures still print the full
+                // report (findings, counterexample trace, minimized
+                // machines) on stdout so machine-readable formats stay
+                // intact; only the one-line summary goes to stderr.
                 match &e {
                     rmd_cli::CliError::Lint { report, .. }
-                    | rmd_cli::CliError::Certify { report, .. } => print!("{report}"),
+                    | rmd_cli::CliError::Certify { report, .. }
+                    | rmd_cli::CliError::Fuzz { report, .. } => print!("{report}"),
                     _ => {}
                 }
                 eprintln!("error: {e}");

@@ -11,26 +11,26 @@
 //! matrix.
 
 use rmd_latency::ForbiddenMatrix;
+use rmd_machine::fnv::Fnv64;
 
 /// FNV-1a 64-bit hash over every `(x, y, latency)` triple of the
 /// forbidden-latency matrix, in row-major order with latencies in the
 /// [`rmd_latency::LatencySet`] iteration order.
+///
+/// Mixes whole `u64` values per [`Fnv64::mix_u64`] — the granularity
+/// the golden certificates under `certs/` pin.
 pub fn matrix_fingerprint(f: &ForbiddenMatrix) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
+    let mut h = Fnv64::new();
     for x in 0..f.num_ops() {
         for y in 0..f.num_ops() {
             for lat in f.get_idx(x, y).iter() {
-                mix(x as u64);
-                mix(y as u64);
-                mix(lat as u32 as u64);
+                h.mix_u64(x as u64);
+                h.mix_u64(y as u64);
+                h.mix_u64(lat as u32 as u64);
             }
         }
     }
-    h
+    h.finish()
 }
 
 /// [`matrix_fingerprint`] rendered as 16 lowercase hex digits — the

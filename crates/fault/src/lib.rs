@@ -28,12 +28,19 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod fuzz;
+pub mod generate;
 pub mod intake;
 pub mod mutate;
 pub mod oracle;
 pub mod rng;
 
 pub use audit::{audit_model, AuditReport, OperatorStats};
+pub use fuzz::{
+    check_machine, fuzz, parse_corpus_entry, render_corpus_entry, replay_corpus,
+    replay_corpus_entry, CaseFlags, CaseOutcome, CorpusEntry, FailedCase, FuzzConfig, FuzzReport,
+};
+pub use generate::{generate, GenConfig};
 pub use intake::confirm_counterexample;
 pub use mutate::{mutate, Mutant, MutantPayload, MutationOp, ALL_OPERATORS};
 pub use oracle::{

@@ -12,17 +12,8 @@
 //! and `rmd lint --format json` reports it so findings can be joined
 //! against the other two.
 
+use crate::fnv::fnv1a64;
 use crate::{mdl, MachineDescription};
-
-/// FNV-1a 64-bit over `bytes`.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
 
 /// The content fingerprint of `machine`: `rmd-` + 16 lowercase hex
 /// digits of the FNV-1a 64-bit hash of its canonical MDL rendering.

@@ -1,0 +1,101 @@
+//! The workspace's one FNV-1a 64 definition.
+//!
+//! Every stable identity in the toolchain — content fingerprints,
+//! forbidden-matrix fingerprints, serve suite digests — is an FNV-1a
+//! 64-bit hash. The offset basis and prime live here, once, so the
+//! golden certificates under `certs/` and the cache keys in `rmd serve`
+//! can never drift apart through a copy-paste edit.
+//!
+//! Two mixing granularities are part of the contract and are *not*
+//! interchangeable:
+//!
+//! * [`Fnv64::write`] folds in individual bytes — the classic FNV-1a
+//!   step, used for text (content fingerprints) and little-endian
+//!   integer streams (serve suite digests).
+//! * [`Fnv64::mix_u64`] folds a whole `u64` in a single step — used by
+//!   the forbidden-matrix fingerprint, whose golden values predate any
+//!   byte serialization of its `(x, y, latency)` triples.
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    h: u64,
+}
+
+/// The FNV-1a 64-bit offset basis.
+pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub const fn new() -> Self {
+        Self { h: OFFSET_BASIS }
+    }
+
+    /// Folds in `bytes` one byte at a time (xor, then multiply).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix_u64(u64::from(b));
+        }
+    }
+
+    /// Folds in one whole 64-bit value in a single xor-multiply step.
+    ///
+    /// Note this is **not** the same hash as `write(&v.to_le_bytes())`;
+    /// callers pick a granularity and keep it forever, because golden
+    /// artifacts pin the resulting values.
+    pub fn mix_u64(&mut self, v: u64) {
+        self.h ^= v;
+        self.h = self.h.wrapping_mul(PRIME);
+    }
+
+    /// The current hash value.
+    pub const fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64 over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn granularities_differ() {
+        let mut bytes = Fnv64::new();
+        bytes.write(&7u64.to_le_bytes());
+        let mut whole = Fnv64::new();
+        whole.mix_u64(7);
+        assert_ne!(bytes.finish(), whole.finish());
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

@@ -45,6 +45,7 @@
 pub mod alternatives;
 mod builder;
 mod fingerprint;
+pub mod fnv;
 mod ids;
 #[cfg(feature = "json")]
 pub mod json;

@@ -638,20 +638,14 @@ fn build_graph(
 /// compact, order-sensitive schedule identity usable for offline
 /// byte-identity checks.
 fn suite_digest(runs: &[rmd_bench::LoopRun]) -> String {
-    let mut h = 0xcbf29ce484222325u64;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
+    let mut h = rmd_machine::fnv::Fnv64::new();
     for r in runs {
-        mix(u64::from(r.ii));
+        h.write(&u64::from(r.ii).to_le_bytes());
         for &t in &r.times {
-            mix(u64::from(t));
+            h.write(&u64::from(t).to_le_bytes());
         }
     }
-    format!("{h:016x}")
+    format!("{:016x}", h.finish())
 }
 
 /// Computes the digest of an offline (library-level) suite run — the

@@ -1,0 +1,61 @@
+//! Cross-crate fingerprint equality.
+//!
+//! Three crates derive stable identities from FNV-1a 64: rmd-machine
+//! (content fingerprints over canonical MDL), rmd-core (forbidden-matrix
+//! fingerprints over `(x, y, latency)` triples), and rmd-serve (suite
+//! digests). All three now consume the one definition in
+//! `rmd_machine::fnv`; these tests pin that the shared hasher reproduces
+//! each consumer's published values — including the golden certificate
+//! values committed under `certs/`, which must never drift.
+
+use rmd_core::fingerprints::{matrix_fingerprint, matrix_fingerprint_hex};
+use rmd_latency::ForbiddenMatrix;
+use rmd_machine::fnv::{fnv1a64, Fnv64};
+use rmd_machine::{content_fingerprint, mdl, models};
+
+/// The content fingerprint is exactly the shared byte-wise FNV-1a of
+/// the canonical MDL rendering, for every built-in model.
+#[test]
+fn content_fingerprint_is_shared_fnv_over_canonical_mdl() {
+    for m in [
+        models::example_machine(),
+        models::alpha21064(),
+        models::mips_r3000(),
+        models::cydra5(),
+        models::cydra5_subset(),
+    ] {
+        let expected = format!("rmd-{:016x}", fnv1a64(mdl::print(&m).as_bytes()));
+        assert_eq!(content_fingerprint(&m), expected, "{}", m.name());
+    }
+}
+
+/// The matrix fingerprint is exactly the shared whole-`u64` FNV-1a mix
+/// over the matrix's `(x, y, latency)` triples in row-major order.
+#[test]
+fn matrix_fingerprint_is_shared_fnv_over_triples() {
+    for m in [models::example_machine(), models::cydra5_subset()] {
+        let f = ForbiddenMatrix::compute(&m);
+        let mut h = Fnv64::new();
+        for x in 0..f.num_ops() {
+            for y in 0..f.num_ops() {
+                for lat in f.get_idx(x, y).iter() {
+                    h.mix_u64(x as u64);
+                    h.mix_u64(y as u64);
+                    h.mix_u64(lat as u32 as u64);
+                }
+            }
+        }
+        assert_eq!(matrix_fingerprint(&f), h.finish(), "{}", m.name());
+    }
+}
+
+/// The exact values the golden certificate `certs/fig1.json` pins.
+/// If this test fails, the shared-FNV refactor changed a published
+/// identity and every committed certificate is invalid.
+#[test]
+fn golden_certificate_values_preserved() {
+    let m = models::example_machine();
+    assert_eq!(content_fingerprint(&m), "rmd-238acfe54e473d20");
+    let f = ForbiddenMatrix::compute(&m);
+    assert_eq!(matrix_fingerprint_hex(&f), "48cea655493a9943");
+}
