@@ -561,8 +561,19 @@ pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> Bench
     }
 }
 
-/// Writes `record` as `BENCH_<machine>.json` under `out_dir` and
-/// returns the path.
+/// Canonical file-name form of a machine name: every character outside
+/// `[A-Za-z0-9_]` becomes `_`. Deterministic and idempotent, so
+/// spelling variants like `cydra5-subset` and `cydra5_subset` land on
+/// the same `BENCH_cydra5_subset.json` and a trajectory can never fork
+/// into near-duplicate record files.
+pub fn sanitize_machine_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Writes `record` as `BENCH_<machine>.json` under `out_dir` (machine
+/// name passed through [`sanitize_machine_name`]) and returns the path.
 ///
 /// # Errors
 ///
@@ -570,7 +581,7 @@ pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> Bench
 /// or the file cannot be written.
 pub fn write_bench_record(record: &BenchRecord, out_dir: &Path) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(out_dir)?;
-    let path = out_dir.join(format!("BENCH_{}.json", record.machine));
+    let path = out_dir.join(format!("BENCH_{}.json", sanitize_machine_name(&record.machine)));
     let json = serde_json::to_string_pretty(record)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     std::fs::write(&path, json + "\n")?;
@@ -578,9 +589,11 @@ pub fn write_bench_record(record: &BenchRecord, out_dir: &Path) -> std::io::Resu
 }
 
 /// Checks that `s` is one well-formed JSON value (full syntax: objects,
-/// arrays, strings with escapes, numbers, literals). The workspace's
-/// offline `serde_json` shim only serializes, so tests and smoke jobs
-/// use this to assert that emitted records parse.
+/// arrays, strings with escapes, numbers, literals). Predates the
+/// `serde_json` shim's parser and is kept as an independent
+/// well-formedness oracle: it accepts exactly the JSON grammar without
+/// building a value tree, so record-emission tests cross-check against
+/// it rather than trusting one parser to validate its own sibling.
 pub fn json_is_well_formed(s: &str) -> bool {
     let bytes = s.as_bytes();
     let mut pos = 0usize;
@@ -778,6 +791,19 @@ mod tests {
     }
 
     #[test]
+    fn bench_filenames_are_sanitized_deterministically() {
+        // Spelling variants collapse onto one canonical record file...
+        assert_eq!(sanitize_machine_name("cydra5-subset"), "cydra5_subset");
+        assert_eq!(sanitize_machine_name("cydra5_subset"), "cydra5_subset");
+        assert_eq!(sanitize_machine_name("a b/c.mdl"), "a_b_c_mdl");
+        // ...and the map is idempotent, so re-sanitizing never drifts.
+        for name in ["cydra5-subset", "fig1", "zoo wide-issue", "x&y"] {
+            let once = sanitize_machine_name(name);
+            assert_eq!(sanitize_machine_name(&once), once, "{name}");
+        }
+    }
+
+    #[test]
     fn suite_support_matches_vocabulary() {
         assert!(suite_supported(&cydra5_subset()));
         assert!(!suite_supported(&example_machine()));
@@ -837,7 +863,7 @@ mod tests {
         let mut rec = bench_machine(&example_machine(), &opts);
         rec.machine = "benchcmd-unit".into(); // avoid clobbering real records
         let path = write_bench_record(&rec, &opts.out_dir).unwrap();
-        assert!(path.ends_with("BENCH_benchcmd-unit.json"));
+        assert!(path.ends_with("BENCH_benchcmd_unit.json"));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(json_is_well_formed(&body));
         assert!(body.contains("\"schema\": \"rmd-bench/5\""));

@@ -1,0 +1,246 @@
+//! `rmd bench --compare`: the bench-trajectory regression guard.
+//!
+//! A `BENCH_*.json` record is a perf trajectory point; this module
+//! diffs two of them. The report lists every numeric leaf the records
+//! share (dotted paths, `old -> new` with the relative delta), and one
+//! chosen **guard metric** gates the exit status: when the new value
+//! falls below `old * (1 - tolerance)` the comparison is a regression
+//! and the CLI exits with code 11. Metrics are higher-is-better
+//! (`queries_per_sec`, `reductions_per_sec`, `speedup`, `req_per_s`),
+//! so the guard is one-sided — improvements never fail.
+//!
+//! Records are loaded with the workspace's `serde_json` shim parser, so
+//! the guard works on anything `rmd bench` wrote, including records
+//! from older schemas: unknown paths simply don't pair up and are
+//! counted as unshared rather than erroring.
+
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The guard metric compared when `--metric` is not given: the
+/// contention-query throughput, the workspace's headline number.
+pub const DEFAULT_METRIC: &str = "query.queries_per_sec";
+
+/// The tolerated relative drop when `--tolerance` is not given.
+/// Generous on purpose: bench numbers are wall-clock on whatever host
+/// ran them, so the guard is for order-of-magnitude cliffs, not noise.
+pub const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// The verdict of one record comparison.
+#[derive(Clone, Debug)]
+pub struct CompareOutcome {
+    /// Human-readable report: shared numeric leaves with deltas, then
+    /// the guard line.
+    pub report: String,
+    /// The guard metric's dotted path.
+    pub metric: String,
+    /// The metric's value in the old (baseline) record.
+    pub old_value: f64,
+    /// The metric's value in the new record.
+    pub new_value: f64,
+    /// The tolerated relative drop.
+    pub tolerance: f64,
+    /// Whether `new_value < old_value * (1 - tolerance)`.
+    pub regressed: bool,
+}
+
+/// Loads and parses a bench record.
+///
+/// # Errors
+///
+/// Returns a message naming the path when the file cannot be read or
+/// does not parse as JSON.
+pub fn load_record(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{} is not JSON: {e:?}", path.display()))
+}
+
+/// Looks up a dotted path (`"query.queries_per_sec"`) and returns the
+/// numeric leaf it names, if any. Array elements are addressed by
+/// index (`"phases.0.wall_ms"`).
+pub fn lookup_metric(v: &Value, path: &str) -> Option<f64> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        cur = match cur {
+            Value::Object(_) => cur.get(seg)?,
+            Value::Array(items) => items.get(seg.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    cur.as_f64()
+}
+
+/// Collects every numeric leaf of `v` as `(dotted_path, value)`, in
+/// source order. `unix_time_secs` is skipped — it differs between any
+/// two records and its delta is noise.
+pub fn numeric_leaves(v: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    collect_leaves(v, String::new(), &mut out);
+    out
+}
+
+fn collect_leaves(v: &Value, prefix: String, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Number(n) if prefix != "unix_time_secs" => {
+            out.push((prefix, *n));
+        }
+        Value::Object(members) => {
+            for (k, child) in members {
+                let path = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                collect_leaves(child, path, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                collect_leaves(child, format!("{prefix}.{i}"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Diffs `new` against the baseline `old` and gates on `metric` with
+/// the given relative `tolerance`.
+///
+/// # Errors
+///
+/// Returns a message when `metric` is missing from either record or
+/// the tolerance is not a fraction in `[0, 1)`.
+pub fn compare_records(
+    old: &Value,
+    new: &Value,
+    metric: &str,
+    tolerance: f64,
+) -> Result<CompareOutcome, String> {
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("tolerance must be in [0, 1), got {tolerance}"));
+    }
+    let old_value = lookup_metric(old, metric)
+        .ok_or_else(|| format!("metric {metric:?} not found in the baseline record"))?;
+    let new_value = lookup_metric(new, metric)
+        .ok_or_else(|| format!("metric {metric:?} not found in the new record"))?;
+
+    let mut report = String::new();
+    let name = |v: &Value| {
+        v.get("machine").and_then(Value::as_str).unwrap_or("?").to_owned()
+    };
+    let schema = |v: &Value| {
+        v.get("schema").and_then(Value::as_str).unwrap_or("?").to_owned()
+    };
+    let _ = writeln!(
+        report,
+        "comparing {} ({}) against baseline {} ({})",
+        name(new),
+        schema(new),
+        name(old),
+        schema(old)
+    );
+
+    let old_leaves = numeric_leaves(old);
+    let new_leaves = numeric_leaves(new);
+    let mut unshared = 0usize;
+    for (path, old_v) in &old_leaves {
+        match new_leaves.iter().find(|(p, _)| p == path) {
+            Some((_, new_v)) => {
+                let delta = if *old_v == 0.0 {
+                    if *new_v == 0.0 { 0.0 } else { f64::INFINITY }
+                } else {
+                    (new_v - old_v) / old_v * 100.0
+                };
+                let _ = writeln!(report, "  {path}: {old_v} -> {new_v} ({delta:+.1}%)");
+            }
+            None => unshared += 1,
+        }
+    }
+    unshared += new_leaves
+        .iter()
+        .filter(|(p, _)| !old_leaves.iter().any(|(q, _)| q == p))
+        .count();
+    if unshared > 0 {
+        let _ = writeln!(report, "  ({unshared} numeric leaves present in only one record)");
+    }
+
+    let regressed = new_value < old_value * (1.0 - tolerance);
+    let _ = writeln!(
+        report,
+        "guard {metric}: old {old_value} new {new_value}, tolerance {:.0}% -> {}",
+        tolerance * 100.0,
+        if regressed { "REGRESSED" } else { "ok" }
+    );
+
+    Ok(CompareOutcome {
+        report,
+        metric: metric.to_owned(),
+        old_value,
+        new_value,
+        tolerance,
+        regressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{"schema":"rmd-bench/5","machine":"fig1","unix_time_secs":1,
+        "query":{"rounds":4,"queries_per_sec":1000.0},
+        "phases":[{"label":"forbidden","wall_ms":2.0}],
+        "scheduler":{"speedup":2.5}}"#;
+
+    fn record(s: &str) -> Value {
+        serde_json::from_str(s).expect("test record parses")
+    }
+
+    #[test]
+    fn dotted_paths_reach_nested_and_indexed_leaves() {
+        let v = record(OLD);
+        assert_eq!(lookup_metric(&v, "query.queries_per_sec"), Some(1000.0));
+        assert_eq!(lookup_metric(&v, "phases.0.wall_ms"), Some(2.0));
+        assert_eq!(lookup_metric(&v, "scheduler.speedup"), Some(2.5));
+        assert_eq!(lookup_metric(&v, "query.missing"), None);
+        assert_eq!(lookup_metric(&v, "machine"), None, "strings are not metrics");
+    }
+
+    #[test]
+    fn leaves_are_collected_without_the_timestamp() {
+        let paths: Vec<String> =
+            numeric_leaves(&record(OLD)).into_iter().map(|(p, _)| p).collect();
+        assert!(paths.contains(&"query.rounds".to_owned()));
+        assert!(paths.contains(&"phases.0.wall_ms".to_owned()));
+        assert!(!paths.iter().any(|p| p.contains("unix_time_secs")));
+    }
+
+    #[test]
+    fn identical_records_never_regress() {
+        let v = record(OLD);
+        let out = compare_records(&v, &v, DEFAULT_METRIC, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.regressed);
+        assert!(out.report.contains("-> ok"));
+        assert!(out.report.contains("query.queries_per_sec: 1000 -> 1000 (+0.0%)"));
+    }
+
+    #[test]
+    fn a_metric_cliff_regresses_and_an_improvement_does_not() {
+        let old = record(OLD);
+        let slow = record(&OLD.replace("\"queries_per_sec\":1000.0", "\"queries_per_sec\":100.0"));
+        let out = compare_records(&old, &slow, DEFAULT_METRIC, 0.5).unwrap();
+        assert!(out.regressed, "{}", out.report);
+        assert!(out.report.contains("REGRESSED"));
+        // The same pair in the other direction is an improvement.
+        let out = compare_records(&slow, &old, DEFAULT_METRIC, 0.5).unwrap();
+        assert!(!out.regressed, "{}", out.report);
+        // Just inside tolerance: 501 >= 1000 * (1 - 0.5).
+        let near = record(&OLD.replace("\"queries_per_sec\":1000.0", "\"queries_per_sec\":501.0"));
+        assert!(!compare_records(&old, &near, DEFAULT_METRIC, 0.5).unwrap().regressed);
+    }
+
+    #[test]
+    fn missing_metric_and_bad_tolerance_are_errors() {
+        let v = record(OLD);
+        assert!(compare_records(&v, &v, "nope.nope", 0.5).is_err());
+        assert!(compare_records(&v, &v, DEFAULT_METRIC, 1.0).is_err());
+        assert!(compare_records(&v, &v, DEFAULT_METRIC, -0.1).is_err());
+    }
+}

@@ -12,6 +12,7 @@ use serde::Serialize;
 use std::path::Path;
 
 pub mod benchcmd;
+pub mod compare;
 pub mod parallel;
 pub mod profile;
 

@@ -47,6 +47,8 @@ use std::fmt::Write as _;
 /// | `Certify`        | 9         | equivalence certification failed          |
 /// | `Fuzz`           | 10        | fuzz campaign found divergences, or a     |
 /// |                  |           | corpus replay violated an expectation     |
+/// | `BenchRegression`| 11        | `bench --compare` guard metric regressed  |
+/// |                  |           | beyond tolerance                          |
 /// | `Internal`       | 1         | unexpected pipeline failure               |
 #[derive(Clone, PartialEq, Debug)]
 #[non_exhaustive]
@@ -116,6 +118,15 @@ pub enum CliError {
         /// One-line failure summary for stderr.
         message: String,
     },
+    /// `rmd bench --compare` found the guard metric regressed beyond
+    /// tolerance against the baseline record.
+    BenchRegression {
+        /// The full rendered comparison report; the binary prints this
+        /// on stdout before exiting.
+        report: String,
+        /// One-line regression summary for stderr.
+        message: String,
+    },
     /// An unexpected internal failure.
     Internal(String),
 }
@@ -134,6 +145,7 @@ impl CliError {
             CliError::Serve { .. } => 8,
             CliError::Certify { .. } => 9,
             CliError::Fuzz { .. } => 10,
+            CliError::BenchRegression { .. } => 11,
             CliError::Internal(_) => 1,
         }
     }
@@ -155,6 +167,7 @@ impl std::fmt::Display for CliError {
             CliError::Serve { message } => write!(f, "serve: {message}"),
             CliError::Certify { message, .. } => write!(f, "certify: {message}"),
             CliError::Fuzz { message, .. } => write!(f, "fuzz: {message}"),
+            CliError::BenchRegression { message, .. } => write!(f, "bench: {message}"),
             CliError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -174,7 +187,8 @@ impl From<RmdError> for CliError {
 }
 
 /// A parsed command line.
-#[derive(Clone, PartialEq, Eq, Debug)]
+// `PartialEq` only: `Bench::tolerance` is an `Option<f64>`.
+#[derive(Clone, PartialEq, Debug)]
 pub enum Command {
     /// `rmd stats <machine>`
     Stats {
@@ -264,7 +278,8 @@ pub enum Command {
         replay: bool,
     },
     /// `rmd bench [<machine>...] [--quick] [--threads N] [--out DIR]
-    /// [--backend NAME]`
+    /// [--backend NAME] [--compare OLD.json [--against NEW.json]]
+    /// [--metric PATH] [--tolerance FRAC]`
     Bench {
         /// Machines to benchmark; empty means the default pair
         /// (`fig1` + `cydra5-subset`).
@@ -280,6 +295,19 @@ pub enum Command {
         /// Query backend for the `query_window` workload (validated
         /// against [`rmd_bench::BACKEND_NAMES`] at parse time).
         backend: Option<&'static str>,
+        /// Baseline `BENCH_*.json` record: diff the fresh run (or the
+        /// `against` record) against it and exit 11 when the guard
+        /// metric regresses beyond tolerance.
+        compare: Option<String>,
+        /// With `compare`: diff this already-written record instead of
+        /// running any benchmark (a pure file-vs-file comparison).
+        against: Option<String>,
+        /// Dotted path of the guard metric
+        /// ([`rmd_bench::compare::DEFAULT_METRIC`] when `None`).
+        metric: Option<String>,
+        /// Tolerated relative drop in `[0, 1)`
+        /// ([`rmd_bench::compare::DEFAULT_TOLERANCE`] when `None`).
+        tolerance: Option<f64>,
     },
     /// `rmd profile <machine> [--loops N] [--format text|jsonl|chrome]
     /// [--out FILE] [--table6] [--backend NAME]`
@@ -302,7 +330,8 @@ pub enum Command {
         backend: Option<&'static str>,
     },
     /// `rmd serve [--socket PATH] [--queue N] [--deadline-ms N]
-    /// [--chaos SEED] [--metrics FILE]`
+    /// [--chaos SEED] [--metrics FILE] [--metrics-every N]
+    /// [--slow-ms N]`
     Serve {
         /// Serve a unix socket at this path instead of stdin/stdout.
         socket: Option<String>,
@@ -315,6 +344,12 @@ pub enum Command {
         chaos: Option<u64>,
         /// Write flushed metrics JSON to this file instead of stderr.
         metrics: Option<String>,
+        /// Emit a metrics snapshot (JSONL) every N requests while the
+        /// daemon runs; 0 or `None` disables periodic emission.
+        metrics_every: Option<u64>,
+        /// Log a structured JSONL record to stderr for every request
+        /// slower than N milliseconds; 0 or `None` disables.
+        slow_ms: Option<u64>,
         /// Directory of `rmd certify` certificates; machines without a
         /// vouching certificate are refused. `None` means the default
         /// `certs` directory.
@@ -338,6 +373,9 @@ pub enum ProfileFormat {
     Jsonl,
     /// Chrome trace-event JSON (Perfetto / `chrome://tracing`).
     Chrome,
+    /// Prometheus/OpenMetrics text exposition of the merged metric
+    /// registry (counters, gauges, and histogram summaries).
+    Prom,
 }
 
 /// Output format of `rmd lint` and `rmd certify` reports.
@@ -608,10 +646,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut threads = None;
             let mut out = None;
             let mut backend = None;
+            let mut compare = None;
+            let mut against = None;
+            let mut metric = None;
+            let mut tolerance = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--quick" => quick = true,
                     "--backend" => backend = Some(parse_backend(it.next())?),
+                    "--compare" => {
+                        compare = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage(
+                                "--compare expects a baseline BENCH_*.json path".to_owned(),
+                            )
+                        })?);
+                    }
+                    "--against" => {
+                        against = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage("--against expects a BENCH_*.json path".to_owned())
+                        })?);
+                    }
+                    "--metric" => {
+                        metric = Some(it.next().cloned().ok_or_else(|| {
+                            CliError::Usage(
+                                "--metric expects a dotted record path".to_owned(),
+                            )
+                        })?);
+                    }
+                    "--tolerance" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--tolerance expects a fraction in [0, 1)".to_owned())
+                        })?;
+                        let t: f64 = v.parse().map_err(|_| {
+                            CliError::Usage(format!(
+                                "--tolerance expects a fraction in [0, 1), got `{v}`"
+                            ))
+                        })?;
+                        if !(0.0..1.0).contains(&t) {
+                            return Err(CliError::Usage(format!(
+                                "--tolerance expects a fraction in [0, 1), got `{v}`"
+                            )));
+                        }
+                        tolerance = Some(t);
+                    }
                     "--threads" => {
                         let v = it.next().ok_or_else(|| {
                             CliError::Usage("--threads expects a positive number".to_owned())
@@ -639,12 +716,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     machine => machines.push(machine.to_owned()),
                 }
             }
+            if compare.is_none() {
+                if against.is_some() {
+                    return Err(CliError::Usage(
+                        "--against requires --compare".to_owned(),
+                    ));
+                }
+                if metric.is_some() || tolerance.is_some() {
+                    return Err(CliError::Usage(
+                        "--metric/--tolerance require --compare".to_owned(),
+                    ));
+                }
+            }
+            if compare.is_some() && against.is_none() && machines.len() != 1 {
+                return Err(CliError::Usage(
+                    "--compare without --against needs exactly one machine to bench".to_owned(),
+                ));
+            }
             Ok(Command::Bench {
                 machines,
                 quick,
                 threads,
                 out,
                 backend,
+                compare,
+                against,
+                metric,
+                tolerance,
             })
         }
         "profile" => {
@@ -669,9 +767,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         Some("text") => format = ProfileFormat::Text,
                         Some("jsonl") => format = ProfileFormat::Jsonl,
                         Some("chrome") => format = ProfileFormat::Chrome,
+                        Some("prom") => format = ProfileFormat::Prom,
                         other => {
                             return Err(CliError::Usage(format!(
-                                "--format expects `text`, `jsonl`, or `chrome`, got {other:?}"
+                                "--format expects `text`, `jsonl`, `chrome`, or `prom`, got {other:?}"
                             )))
                         }
                     },
@@ -701,6 +800,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut deadline_ms = None;
             let mut chaos = None;
             let mut metrics = None;
+            let mut metrics_every = None;
+            let mut slow_ms = None;
             let mut certs = None;
             let mut uncertified = false;
             fn num<T: std::str::FromStr>(
@@ -729,6 +830,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--deadline-ms" => deadline_ms = Some(num("--deadline-ms", it.next())?),
                     "--chaos" => chaos = Some(num("--chaos", it.next())?),
+                    "--metrics-every" => {
+                        metrics_every = Some(num("--metrics-every", it.next())?);
+                    }
+                    "--slow-ms" => slow_ms = Some(num("--slow-ms", it.next())?),
                     "--metrics" => {
                         metrics = Some(it.next().cloned().ok_or_else(|| {
                             CliError::Usage("--metrics expects a file path".to_owned())
@@ -756,6 +861,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 deadline_ms,
                 chaos,
                 metrics,
+                metrics_every,
+                slow_ms,
                 certs,
                 uncertified,
             })
@@ -946,6 +1053,37 @@ fn spec_key(spec: &str) -> String {
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| spec.to_owned())
     }
+}
+
+/// Runs the `bench --compare` guard on two loaded records: appends the
+/// delta report to `out` on success, or returns
+/// [`CliError::BenchRegression`] (exit 11) when the guard metric fell
+/// below `old * (1 - tolerance)`.
+fn run_compare(
+    old: &serde_json::Value,
+    new: &serde_json::Value,
+    metric: Option<&str>,
+    tolerance: Option<f64>,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let metric = metric.unwrap_or(rmd_bench::compare::DEFAULT_METRIC);
+    let tolerance = tolerance.unwrap_or(rmd_bench::compare::DEFAULT_TOLERANCE);
+    let cmp = rmd_bench::compare::compare_records(old, new, metric, tolerance)
+        .map_err(CliError::Internal)?;
+    if cmp.regressed {
+        return Err(CliError::BenchRegression {
+            report: cmp.report,
+            message: format!(
+                "{}: {} -> {} regressed beyond {:.0}% tolerance",
+                cmp.metric,
+                cmp.old_value,
+                cmp.new_value,
+                tolerance * 100.0
+            ),
+        });
+    }
+    out.push_str(&cmp.report);
+    Ok(())
 }
 
 /// One-line proof statistics for a successful `certify_pair` run.
@@ -1446,8 +1584,22 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             threads,
             out: out_dir,
             backend,
+            compare,
+            against,
+            metric,
+            tolerance,
         } => {
             use rmd_bench::benchcmd;
+            // Pure file-vs-file trajectory check: no benchmark runs at
+            // all, just two committed records and the guard.
+            if let (Some(baseline), Some(new_path)) = (compare, against) {
+                let old_rec = rmd_bench::compare::load_record(std::path::Path::new(baseline))
+                    .map_err(CliError::Internal)?;
+                let new_rec = rmd_bench::compare::load_record(std::path::Path::new(new_path))
+                    .map_err(CliError::Internal)?;
+                run_compare(&old_rec, &new_rec, metric.as_deref(), *tolerance, &mut out)?;
+                return Ok(out);
+            }
             let specs: Vec<String> = if machines.is_empty() {
                 vec!["fig1".to_owned(), "cydra5-subset".to_owned()]
             } else {
@@ -1482,16 +1634,12 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     p99_ns: load.p99_ns,
                 });
                 // Key the record by the spec the user asked for (model
-                // name, or file stem for .mdl paths) so filenames are
-                // predictable regardless of internal machine names.
-                rec.machine = if MODEL_NAMES.contains(&spec.as_str()) {
-                    spec.clone()
-                } else {
-                    std::path::Path::new(spec)
-                        .file_stem()
-                        .map(|s| s.to_string_lossy().into_owned())
-                        .unwrap_or_else(|| spec.clone())
-                };
+                // name, or file stem for .mdl paths), in canonical
+                // underscore spelling, so filenames are predictable
+                // regardless of internal machine names and spelling
+                // variants (`cydra5-subset` vs `cydra5_subset`) can
+                // never fork the trajectory into near-duplicate files.
+                rec.machine = benchcmd::sanitize_machine_name(&spec_key(spec));
                 let path = benchcmd::write_bench_record(&rec, &opts.out_dir)
                     .map_err(|e| CliError::Internal(format!("cannot write bench record: {e}")))?;
                 let _ = writeln!(
@@ -1537,6 +1685,16 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     );
                 }
                 let _ = writeln!(out, "  [recorded {}]", path.display());
+                if let Some(baseline) = compare {
+                    // Guard the fresh trajectory point against the
+                    // committed baseline (exit 11 on a regression).
+                    let old_rec =
+                        rmd_bench::compare::load_record(std::path::Path::new(baseline))
+                            .map_err(CliError::Internal)?;
+                    let new_rec = rmd_bench::compare::load_record(&path)
+                        .map_err(CliError::Internal)?;
+                    run_compare(&old_rec, &new_rec, metric.as_deref(), *tolerance, &mut out)?;
+                }
             }
         }
         Command::Profile {
@@ -1563,6 +1721,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     s.push('\n');
                     s
                 }
+                ProfileFormat::Prom => rmd_obs::export::registry_to_prom(&p.registry),
             };
             match out_file {
                 Some(path) => {
@@ -1605,6 +1764,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             deadline_ms,
             chaos,
             metrics,
+            metrics_every,
+            slow_ms,
             certs,
             uncertified,
         } => {
@@ -1626,6 +1787,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 socket: socket.as_ref().map(std::path::PathBuf::from),
                 queue_cap: queue.unwrap_or(64),
                 metrics_path: metrics.as_ref().map(std::path::PathBuf::from),
+                metrics_every: metrics_every.unwrap_or(0),
+                slow_ms: slow_ms.unwrap_or(0),
                 engine: rmd_serve::EngineConfig {
                     default_deadline_ms: deadline_ms.unwrap_or(0),
                     chaos: chaos.map(rmd_serve::Chaos::new),
@@ -1763,10 +1926,20 @@ OPTIONS (bench):
     --out <DIR>                              output directory [.]
     --backend <NAME>                         query_window workload backend
                                              [bitvec]
+    --compare <OLD.json>                     diff the fresh record (exactly
+                                             one machine) against this
+                                             baseline; exit 11 when the
+                                             guard metric regresses
+    --against <NEW.json>                     with --compare: diff two
+                                             existing records, run nothing
+    --metric <PATH>                          guard metric, dotted path
+                                             [query.queries_per_sec]
+    --tolerance <FRAC>                       tolerated relative drop in
+                                             [0, 1) [0.5]
 
 OPTIONS (profile):
     --loops <N>                              suite loops to schedule [64]
-    --format text|jsonl|chrome               report format [text]
+    --format text|jsonl|chrome|prom          report format [text]
     --out <FILE>                             write the report to FILE
     --table6                                 append the per-function work
                                              table and record it under
@@ -1785,6 +1958,12 @@ OPTIONS (serve):
                                              (corrupt/slow/panic ~1/10 each)
     --metrics <FILE>                         write flushed rmd-obs metrics
                                              JSON here [stderr]
+    --metrics-every <N>                      also emit a metrics snapshot
+                                             (JSONL) every N requests while
+                                             serving [0 = off]
+    --slow-ms <N>                            log a structured JSONL record
+                                             for every request over N ms
+                                             [0 = off]
     --certs <DIR>                            admit only machines some
                                              certificate in DIR vouches
                                              for [certs]
@@ -1796,12 +1975,19 @@ modulo_bitvec; anything else is a usage error (exit 2).
 
 Bench with no machines runs the default pair (fig1, cydra5-subset) and
 writes one BENCH_<name>.json record per machine into the output
-directory.
+directory; record filenames use canonical underscore spelling
+(BENCH_cydra5_subset.json). With --compare the run becomes a trajectory
+guard: the fresh record (or, with --against, a second existing record)
+is diffed against the baseline, every shared numeric leaf is reported,
+and the invocation exits 11 when the guard metric falls below
+old * (1 - tolerance). Metrics are higher-is-better, so improvements
+never fail the guard.
 
 Profile runs the reduction pipeline, all five query backends, and the
 loop-suite scheduler under rmd-obs tracing; `jsonl` dumps the raw event
-stream and `chrome` a trace loadable in chrome://tracing. Export
-failures (--out / --table6) exit with code 7.
+stream, `chrome` a trace loadable in chrome://tracing, and `prom` the
+merged metric registry as Prometheus/OpenMetrics text exposition.
+Export failures (--out / --table6) exit with code 7.
 
 Lint exits 0 when no error-severity findings remain and 6 otherwise;
 the report is always printed on stdout.
@@ -1827,7 +2013,11 @@ transport setup failures (e.g. the socket path cannot be bound) exit
 with code 8. Machines are admitted only when a certificate under the
 --certs directory vouches for their content fingerprint, unless
 --uncertified is given; uncertified machines are refused with a typed
-`uncertified` reply.
+`uncertified` reply. Live telemetry: a `{\"type\":\"metrics\"}` frame
+returns a registry snapshot in-band, `\"trace\":true` on any request
+returns its span tree inline (replies without it stay byte-identical
+to the offline CLI), and panics, quarantines, and drains dump a
+flight-recorder black box of the last requests to stderr.
 
 <machine> is a built-in model name (fig1, mips, alpha, cydra5,
 cydra5-subset) or a path to an .mdl file.
@@ -1894,6 +2084,8 @@ mod tests {
                 deadline_ms: Some(250),
                 chaos: Some(197),
                 metrics: Some("metrics.json".into()),
+                metrics_every: None,
+                slow_ms: None,
                 certs: None,
                 uncertified: false,
             }
@@ -1907,6 +2099,8 @@ mod tests {
                 deadline_ms: None,
                 chaos: None,
                 metrics: None,
+                metrics_every: None,
+                slow_ms: None,
                 certs: Some("my-certs".into()),
                 uncertified: false,
             }
@@ -1944,6 +2138,8 @@ mod tests {
             deadline_ms: None,
             chaos: None,
             metrics: None,
+            metrics_every: None,
+            slow_ms: None,
             certs: None,
             uncertified: true,
         };
@@ -2577,6 +2773,10 @@ mod bench_tests {
                     threads: *threads,
                     out: out.map(str::to_owned),
                     backend: *backend,
+                    compare: None,
+                    against: None,
+                    metric: None,
+                    tolerance: None,
                 },
                 "{argv:?}"
             );
@@ -2619,6 +2819,10 @@ mod bench_tests {
             threads: Some(1),
             out: None,
             backend: None,
+            compare: None,
+            against: None,
+            metric: None,
+            tolerance: None,
         })
         .expect_err("unknown machine must fail");
         assert!(matches!(e, CliError::Parse { .. }), "{e:?}");
@@ -2634,6 +2838,10 @@ mod bench_tests {
             threads: Some(2),
             out: Some(dir.to_string_lossy().into_owned()),
             backend: None,
+            compare: None,
+            against: None,
+            metric: None,
+            tolerance: None,
         })
         .expect("quick bench on fig1");
         assert!(out.contains("fig1:"), "{out}");
@@ -2646,6 +2854,139 @@ mod bench_tests {
         assert!(body.contains("\"phases\""), "{body}");
         assert!(body.contains("\"query_window\""), "{body}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_bench_compare_flags() {
+        let c = parse_args(&args(&[
+            "bench",
+            "fig1",
+            "--quick",
+            "--compare",
+            "old.json",
+            "--metric",
+            "serve.req_per_s",
+            "--tolerance",
+            "0.9",
+        ]))
+        .expect("valid compare command line");
+        assert!(
+            matches!(
+                &c,
+                Command::Bench { compare: Some(p), against: None, metric: Some(m), tolerance: Some(t), .. }
+                    if p == "old.json" && m == "serve.req_per_s" && *t == 0.9
+            ),
+            "{c:?}"
+        );
+        // File-vs-file mode needs no machines at all.
+        let c = parse_args(&args(&["bench", "--compare", "a.json", "--against", "b.json"]))
+            .expect("file-vs-file parses");
+        assert!(
+            matches!(&c, Command::Bench { machines, against: Some(_), .. } if machines.is_empty()),
+            "{c:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_compare_usage_with_exit_code_2() {
+        for bad in [
+            &["bench", "--compare"][..],
+            &["bench", "fig1", "--against", "b.json"][..],
+            &["bench", "fig1", "--metric", "x"][..],
+            &["bench", "fig1", "--tolerance", "0.5"][..],
+            &["bench", "fig1", "--compare", "a.json", "--tolerance", "1.5"][..],
+            &["bench", "fig1", "--compare", "a.json", "--tolerance", "lots"][..],
+            // --compare without --against must bench exactly one machine.
+            &["bench", "--compare", "a.json"][..],
+            &["bench", "fig1", "mips", "--compare", "a.json"][..],
+        ] {
+            let e = usage_error(bad);
+            assert!(matches!(e, CliError::Usage(_)), "{bad:?} -> {e:?}");
+            assert_eq!(e.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    fn compare_cmd(old: &str, new: &str) -> Command {
+        Command::Bench {
+            machines: vec![],
+            quick: true,
+            threads: None,
+            out: None,
+            backend: None,
+            compare: Some(old.to_owned()),
+            against: Some(new.to_owned()),
+            metric: None,
+            tolerance: None,
+        }
+    }
+
+    #[test]
+    fn bench_compare_file_vs_file_guards_the_trajectory() {
+        let dir = std::env::temp_dir().join(format!("rmd-compare-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let old = dir.join("old.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(
+            &old,
+            r#"{"schema":"rmd-bench/5","machine":"fig1","query":{"queries_per_sec":1000.0}}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &bad,
+            r#"{"schema":"rmd-bench/5","machine":"fig1","query":{"queries_per_sec":1.0}}"#,
+        )
+        .unwrap();
+        // Identical records compare clean and print the delta report.
+        let out = run(&compare_cmd(
+            &old.to_string_lossy(),
+            &old.to_string_lossy(),
+        ))
+        .expect("identical records never regress");
+        assert!(out.contains("-> ok"), "{out}");
+        assert!(out.contains("query.queries_per_sec"), "{out}");
+        // A 1000x cliff trips the guard: exit code 11 with the report.
+        let e = run(&compare_cmd(&old.to_string_lossy(), &bad.to_string_lossy()))
+            .expect_err("cliff must regress");
+        assert_eq!(e.exit_code(), 11);
+        assert!(
+            matches!(&e, CliError::BenchRegression { report, .. } if report.contains("REGRESSED")),
+            "{e:?}"
+        );
+        assert!(e.to_string().contains("regressed beyond"), "{e}");
+        // The committed repo record compared against itself is clean —
+        // exactly what the bench-guard CI job relies on.
+        let committed =
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig1.json");
+        let out = run(&compare_cmd(committed, committed)).expect("committed record vs itself");
+        assert!(out.contains("-> ok"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_serve_telemetry_flags() {
+        let c = parse_args(&args(&[
+            "serve",
+            "--metrics-every",
+            "100",
+            "--slow-ms",
+            "5",
+            "--uncertified",
+        ]))
+        .expect("valid serve telemetry flags");
+        assert!(
+            matches!(
+                c,
+                Command::Serve { metrics_every: Some(100), slow_ms: Some(5), .. }
+            ),
+            "{c:?}"
+        );
+        for bad in [
+            &["serve", "--metrics-every"][..],
+            &["serve", "--metrics-every", "-1"],
+            &["serve", "--slow-ms", "soon"],
+        ] {
+            assert_eq!(usage_error(bad).exit_code(), 2, "{bad:?}");
+        }
     }
 }
 
@@ -2791,6 +3132,31 @@ mod profile_tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_prom_format_renders_text_exposition() {
+        let out = run(&Command::Profile {
+            machine: "fig1".into(),
+            loops: Some(0),
+            format: ProfileFormat::Prom,
+            out: None,
+            table6: false,
+            backend: None,
+        })
+        .expect("profile fig1 --format prom");
+        assert!(out.contains("# TYPE reduce_runs counter"), "{out}");
+        assert!(out.contains("reduce_runs 1"), "{out}");
+        // Histograms render as summaries with quantile labels.
+        assert!(out.contains("quantile=\"0.99\""), "{out}");
+        // Prom metric names never carry dots or dashes.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad prom name in line: {line}"
+            );
+        }
     }
 
     #[test]

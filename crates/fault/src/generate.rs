@@ -21,7 +21,15 @@
 //!   blocks and the rendering round-trips;
 //! * **writeback contention** — result-bus usages at distinct
 //!   latencies, the classic source of cross-operation forbidden
-//!   latencies (paper Figure 1).
+//!   latencies (paper Figure 1);
+//! * **shared-usage alternative groups** — a per-operation decode port
+//!   every alternative of a group reserves at issue time, so reduction
+//!   sees usages common to the whole `alt` block rather than only
+//!   per-alternative structure;
+//! * **degenerate single-resource machines** — occasionally the whole
+//!   topology collapses onto one port that every operation contends
+//!   on, the maximal-conflict corner where every pairwise forbidden
+//!   latency is live.
 //!
 //! Determinism is the contract: [`generate`] is a pure function of
 //! `(seed, config)`, so a seed printed by a failing fuzz report
@@ -119,6 +127,16 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> MachineDescription {
     let mut rng = SplitMix64::new(mix_seed(seed, 0x0067_656e, 0)); // "gen"
     let mut b = MachineBuilder::new(format!("fuzz-{seed:016x}"));
 
+    // --- degenerate single-resource machines -------------------------
+    // Roughly one machine in twelve collapses the whole topology onto
+    // a single port. Every operation contends on the same resource, so
+    // every pairwise conflict is live and reduction must preserve the
+    // maximal forbidden-latency sets (real analogue: a single-issue
+    // scalar port). Drawn first so it is a stable prefix decision.
+    if rng.below(12) == 0 {
+        return generate_degenerate(&mut rng, b, cfg);
+    }
+
     // --- resource topology -------------------------------------------
     let nclusters = 1 + rng.below(u64::from(cfg.max_clusters.max(1))) as usize;
     let mut clusters = Vec::with_capacity(nclusters);
@@ -177,10 +195,18 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> MachineDescription {
             emit_alt(op, &clusters[c], u, crosses.then_some(xbus).flatten(), writeback, &mut rng)
                 .finish();
         } else {
+            // Half the groups also reserve a shared per-operation
+            // decode port at issue time: a usage common to *every*
+            // alternative, the structure per-alternative reduction
+            // must keep aligned across the whole `alt` block.
+            let shared = rng.flip().then(|| b.resource(format!("op{o}_dec")));
             // Expanded-alternative naming (`name#k`, equal weights) so
             // the canonical rendering re-collapses into an `alt` block.
             for (k, &(c, u)) in placements.iter().enumerate() {
-                let op = b.operation(format!("{name}#{k}")).base(&name);
+                let mut op = b.operation(format!("{name}#{k}")).base(&name);
+                if let Some(dec) = shared {
+                    op = op.usage(dec, 0);
+                }
                 emit_alt(op, &clusters[c], u, crosses.then_some(xbus).flatten(), writeback, &mut rng)
                     .finish();
             }
@@ -188,6 +214,31 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> MachineDescription {
     }
 
     b.build().expect("generated description is structurally valid")
+}
+
+/// Emits a machine whose every operation contends on one port: either
+/// a multi-cycle occupancy span starting at issue, or issue plus a
+/// jittered second reservation (the two-usage shape that makes every
+/// issue distance up to the jitter a forbidden latency).
+fn generate_degenerate(
+    rng: &mut SplitMix64,
+    mut b: MachineBuilder,
+    cfg: &GenConfig,
+) -> MachineDescription {
+    let port = b.resource("the_port");
+    let depth = u64::from(cfg.max_depth.max(1));
+    let nops = 1 + rng.below(u64::from(cfg.max_ops.max(1))) as usize;
+    for o in 0..nops {
+        let op = b.operation(format!("op{o}"));
+        if rng.flip() {
+            let span = 1 + rng.below(depth) as u32;
+            op.span(port, 0, span).finish();
+        } else {
+            let again = 1 + rng.below(depth) as u32;
+            op.usage(port, 0).usage(port, again).finish();
+        }
+    }
+    b.build().expect("degenerate description is structurally valid")
 }
 
 /// Emits the reservation-table body of one alternative: issue at cycle
@@ -248,7 +299,9 @@ mod tests {
         for seed in 0..200 {
             let m = generate(seed, &cfg);
             assert!(m.num_operations() >= 1, "seed {seed}");
-            assert!(m.num_resources() >= 2, "seed {seed}");
+            // Degenerate machines own exactly one resource; everything
+            // else has at least an issue slot and a writeback bus.
+            assert!(m.num_resources() >= 1, "seed {seed}");
             let src = mdl::print(&m);
             let (parsed, _) = mdl::parse_machine(&src)
                 .unwrap_or_else(|e| panic!("seed {seed}: rendering does not reparse: {e}"));
@@ -262,6 +315,7 @@ mod tests {
         // each advertised structure at least once.
         let cfg = GenConfig::medium();
         let (mut alts, mut spans, mut multi_cluster, mut xbus) = (false, false, false, false);
+        let (mut shared_dec, mut degenerate) = (false, false);
         for seed in 0..100 {
             let m = generate(seed, &cfg);
             let src = mdl::print(&m);
@@ -269,11 +323,56 @@ mod tests {
             spans |= src.contains("..");
             multi_cluster |= src.contains("c1_issue");
             xbus |= src.contains("xbus");
+            shared_dec |= src.contains("_dec");
+            degenerate |= m.num_resources() == 1 && src.contains("the_port");
         }
         assert!(alts, "no seed produced an alt block");
         assert!(spans, "no seed produced a multi-cycle span");
         assert!(multi_cluster, "no seed produced a second cluster");
         assert!(xbus, "no seed produced an inter-cluster bus usage");
+        assert!(shared_dec, "no seed produced a shared-usage alt group");
+        assert!(degenerate, "no seed produced a single-resource machine");
+    }
+
+    #[test]
+    fn shared_decode_usage_appears_in_every_alternative_of_its_group() {
+        // Whenever a group owns an opN_dec port, every alternative of
+        // that group must reserve it — a partial share would mean the
+        // generator produced the structure it advertises only halfway.
+        let cfg = GenConfig::medium();
+        let mut checked_groups = 0;
+        for seed in 0..100 {
+            let m = generate(seed, &cfg);
+            let src = mdl::print(&m);
+            for o in 0..m.num_operations() {
+                let dec = format!("op{o}_dec");
+                if !src.contains(&dec) {
+                    continue;
+                }
+                checked_groups += 1;
+                let base = format!("op{o}");
+                let alt_count = m
+                    .operations()
+                    .iter()
+                    .filter(|op| op.base() == Some(base.as_str()))
+                    .count();
+                assert!(
+                    alt_count >= 2,
+                    "seed {seed}: {dec} exists but {base} is not a multi-alternative group"
+                );
+                // Every alternative reserves the port exactly once, so
+                // the rendering mentions it alt_count times plus the
+                // single resource declaration.
+                let dec_mentions = src.matches(&dec).count();
+                assert_eq!(
+                    dec_mentions,
+                    alt_count + 1,
+                    "seed {seed}: {dec} reserved by {} of {alt_count} alternatives",
+                    dec_mentions.saturating_sub(1),
+                );
+            }
+        }
+        assert!(checked_groups > 0, "sweep never produced a shared-usage group");
     }
 
     #[test]
@@ -286,3 +385,4 @@ mod tests {
         }
     }
 }
+

@@ -148,6 +148,72 @@ pub fn registry_to_json(reg: &MetricRegistry) -> String {
     out
 }
 
+/// Appends a metric name in Prometheus form: every character outside
+/// `[a-zA-Z0-9_:]` (dots, dashes, …) becomes `_`, and a leading digit
+/// gains a `_` prefix. Deterministic and idempotent.
+fn push_prom_name(out: &mut String, name: &str) {
+    if name.starts_with(|c: char| c.is_ascii_digit()) {
+        out.push('_');
+    }
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+/// Renders a registry in the Prometheus / OpenMetrics text exposition
+/// format.
+///
+/// Counters and gauges become one `# TYPE` line plus one sample each.
+/// Histograms are exposed as summaries: `<name>_count`, `<name>_sum`,
+/// and `{quantile="0.5"}` / `{quantile="0.99"}` samples (the log2
+/// bucket upper bounds from [`Histogram::approx_quantile`]), plus
+/// `<name>_min` / `<name>_max` gauges since the registry tracks them
+/// exactly. Metric names are sanitized (`serve.latency_ns` →
+/// `serve_latency_ns`); keys iterate in BTreeMap order, so equal
+/// registries render identically — same determinism contract as
+/// [`registry_to_json`].
+///
+/// [`Histogram::approx_quantile`]: crate::Histogram::approx_quantile
+pub fn registry_to_prom(reg: &MetricRegistry) -> String {
+    let mut out = String::new();
+    for (k, v) in reg.counters() {
+        out.push_str("# TYPE ");
+        push_prom_name(&mut out, k);
+        out.push_str(" counter\n");
+        push_prom_name(&mut out, k);
+        let _ = writeln!(out, " {v}");
+    }
+    for (k, v) in reg.gauges() {
+        out.push_str("# TYPE ");
+        push_prom_name(&mut out, k);
+        out.push_str(" gauge\n");
+        push_prom_name(&mut out, k);
+        let _ = writeln!(out, " {v}");
+    }
+    for (k, h) in reg.histograms() {
+        out.push_str("# TYPE ");
+        push_prom_name(&mut out, k);
+        out.push_str(" summary\n");
+        for (q, v) in [(0.5, h.approx_quantile(0.50)), (0.99, h.approx_quantile(0.99))] {
+            push_prom_name(&mut out, k);
+            let _ = writeln!(out, "{{quantile=\"{q}\"}} {v}");
+        }
+        push_prom_name(&mut out, k);
+        let _ = writeln!(out, "_sum {}", h.sum());
+        push_prom_name(&mut out, k);
+        let _ = writeln!(out, "_count {}", h.count());
+        push_prom_name(&mut out, k);
+        let _ = writeln!(out, "_min {}", h.min().unwrap_or(0));
+        push_prom_name(&mut out, k);
+        let _ = writeln!(out, "_max {}", h.max().unwrap_or(0));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +293,45 @@ mod tests {
         let mut s = String::new();
         push_json_string(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn prom_exposition_golden() {
+        // Pinned byte-for-byte like the Chrome trace: scrapers parse
+        // this text, so the exact line set is the contract.
+        let mut reg = MetricRegistry::new();
+        reg.inc("serve.ok", 3);
+        reg.inc("serve.errors.timeout", 1);
+        reg.set_gauge("serve.machines_cached", 2);
+        reg.observe("serve.latency_ns", 10);
+        reg.observe("serve.latency_ns", 1000);
+        let expected = "\
+# TYPE serve_errors_timeout counter
+serve_errors_timeout 1
+# TYPE serve_ok counter
+serve_ok 3
+# TYPE serve_machines_cached gauge
+serve_machines_cached 2
+# TYPE serve_latency_ns summary
+serve_latency_ns{quantile=\"0.5\"} 15
+serve_latency_ns{quantile=\"0.99\"} 1000
+serve_latency_ns_sum 1010
+serve_latency_ns_count 2
+serve_latency_ns_min 10
+serve_latency_ns_max 1000
+";
+        assert_eq!(registry_to_prom(&reg), expected);
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        let mut reg = MetricRegistry::new();
+        reg.inc("bench.cydra5-subset.loops", 4);
+        reg.set_gauge("1weird name", 9);
+        let s = registry_to_prom(&reg);
+        assert!(s.contains("bench_cydra5_subset_loops 4"), "{s}");
+        assert!(s.contains("_1weird_name 9"), "{s}");
+        assert_eq!(registry_to_prom(&MetricRegistry::new()), "");
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub struct ServeOptions {
     pub retry_after_ms: u64,
     /// Where to write the flushed metrics JSON (stderr when `None`).
     pub metrics_path: Option<PathBuf>,
+    /// Emit a metrics-snapshot JSONL line every N requests; `0`
+    /// disables. Snapshots are non-destructive ([`ServeEngine::
+    /// metrics_snapshot`]) and never pause request processing. With a
+    /// `metrics_path` the lines are *appended* (and the final drain
+    /// flush appends too, keeping the file JSONL); without one they go
+    /// to stderr.
+    pub metrics_every: u64,
+    /// Log a structured JSONL record to stderr for every request whose
+    /// latency reaches this many milliseconds; `0` disables.
+    pub slow_ms: u64,
     /// Engine knobs (deadlines, caps, chaos).
     pub engine: EngineConfig,
 }
@@ -50,6 +60,8 @@ impl Default for ServeOptions {
             queue_cap: 64,
             retry_after_ms: 50,
             metrics_path: None,
+            metrics_every: 0,
+            slow_ms: 0,
             engine: EngineConfig::default(),
         }
     }
@@ -130,6 +142,7 @@ where
         match rx.recv_timeout(IDLE_POLL) {
             Ok((line, at)) => {
                 let (reply, shutdown) = engine.handle_line(&line, at);
+                after_request(engine, opts);
                 if !write_line(&writer, &reply) {
                     break;
                 }
@@ -142,6 +155,7 @@ where
                     // Drain everything already admitted, then stop.
                     while let Ok((line, at)) = rx.try_recv() {
                         let (reply, _) = engine.handle_line(&line, at);
+                        after_request(engine, opts);
                         write_line(&writer, &reply);
                     }
                     break;
@@ -159,11 +173,89 @@ where
     }
 }
 
+/// Per-request observability: publishes any flight-recorder dumps the
+/// request tripped, logs it when it was slow, and appends a periodic
+/// metrics snapshot every `metrics_every` requests. Runs on the
+/// processor thread between requests — no pause, no locks.
+fn after_request(engine: &mut ServeEngine, opts: &ServeOptions) {
+    for dump in engine.take_flight_dumps() {
+        eprintln!("rmd serve: flight {dump}");
+    }
+    if opts.slow_ms > 0 {
+        if let Some(entry) = engine.last_flight_entry() {
+            if entry.latency_ns / 1_000_000 >= opts.slow_ms {
+                eprintln!("{}", render_slow_record(entry, opts.slow_ms));
+            }
+        }
+    }
+    if opts.metrics_every > 0 && engine.counter("serve.requests") % opts.metrics_every == 0 {
+        emit_metrics_line(engine, opts);
+    }
+}
+
+/// One structured JSONL record for a request over the `--slow-ms`
+/// threshold.
+fn render_slow_record(entry: &crate::flight::FlightEntry, slow_ms: u64) -> String {
+    use rmd_obs::export::push_json_string;
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"slow_request\":true,\"req\":");
+    out.push_str(&entry.req.to_string());
+    out.push_str(",\"id\":");
+    out.push_str(entry.id.as_deref().unwrap_or("null"));
+    out.push_str(",\"kind\":");
+    push_json_string(&mut out, entry.kind);
+    out.push_str(",\"latency_ms\":");
+    out.push_str(&(entry.latency_ns / 1_000_000).to_string());
+    out.push_str(",\"threshold_ms\":");
+    out.push_str(&slow_ms.to_string());
+    out.push_str(",\"outcome\":");
+    push_json_string(&mut out, &entry.outcome);
+    out.push('}');
+    out
+}
+
+/// Appends one non-destructive metrics-snapshot line to the metrics
+/// path (or stderr).
+fn emit_metrics_line(engine: &ServeEngine, opts: &ServeOptions) {
+    let json = rmd_obs::export::registry_to_json(&engine.metrics_snapshot());
+    match &opts.metrics_path {
+        Some(path) => {
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| {
+                    use std::io::Write as _;
+                    writeln!(f, "{json}")
+                });
+            if let Err(e) = appended {
+                eprintln!("rmd serve: cannot write metrics to {}: {e}", path.display());
+                eprintln!("rmd serve: metrics {json}");
+            }
+        }
+        None => eprintln!("rmd serve: metrics {json}"),
+    }
+}
+
 fn flush_metrics(engine: &mut ServeEngine, opts: &ServeOptions) {
     let json = engine.flush_metrics();
     match &opts.metrics_path {
         Some(path) => {
-            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            // With periodic emission active the file is JSONL history;
+            // append the final flush instead of truncating it away.
+            let written = if opts.metrics_every > 0 {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| {
+                        use std::io::Write as _;
+                        writeln!(f, "{json}")
+                    })
+            } else {
+                std::fs::write(path, format!("{json}\n"))
+            };
+            if let Err(e) = written {
                 eprintln!("rmd serve: cannot write metrics to {}: {e}", path.display());
                 eprintln!("rmd serve: metrics {json}");
             }
@@ -199,6 +291,12 @@ pub fn run(opts: &ServeOptions) -> Result<ServeSummary, ServeError> {
             serve_stream(BufReader::new(io::stdin()), writer, &mut engine, opts);
         }
         Some(path) => serve_socket(path, &mut engine, opts)?,
+    }
+    // The drain is a black-box moment too: dump the last requests so a
+    // post-mortem can see what the daemon was doing when it stopped.
+    engine.trip_flight("drain");
+    for dump in engine.take_flight_dumps() {
+        eprintln!("rmd serve: flight {dump}");
     }
     flush_metrics(&mut engine, opts);
     let s = summary_of(&engine);
@@ -338,5 +436,65 @@ mod tests {
         let (replies, summary) = run_lines("", &ServeOptions::default());
         assert!(replies.is_empty());
         assert_eq!(summary, ServeSummary::default());
+    }
+
+    #[test]
+    fn metrics_every_appends_parseable_snapshots() {
+        let path = std::env::temp_dir().join(format!(
+            "rmd-serve-metrics-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let opts = ServeOptions {
+            metrics_path: Some(path.clone()),
+            metrics_every: 2,
+            ..ServeOptions::default()
+        };
+        let lines = concat!(
+            r#"{"type":"status","id":0}"#, "\n",
+            r#"{"type":"status","id":1}"#, "\n",
+            r#"{"type":"status","id":2}"#, "\n",
+            r#"{"type":"status","id":3}"#, "\n",
+            r#"{"type":"status","id":4}"#, "\n",
+        );
+        let (replies, _) = run_lines(lines, &opts);
+        assert_eq!(replies.len(), 5);
+        let text = std::fs::read_to_string(&path).expect("metrics file");
+        let snaps: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap_or_else(|e| panic!("{l}: {e}")))
+            .collect();
+        // 5 requests at every-2 → snapshots after requests 2 and 4.
+        assert_eq!(snaps.len(), 2, "{text}");
+        let requests = |v: &serde_json::Value| {
+            v.get("counters")
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(|n| n.as_u64())
+                .unwrap()
+        };
+        assert_eq!(requests(&snaps[0]), 2);
+        assert_eq!(requests(&snaps[1]), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn slow_record_is_structured_jsonl() {
+        let entry = crate::flight::FlightEntry {
+            req: 7,
+            id: Some("\"a b\"".to_string()),
+            kind: "schedule",
+            fingerprint: None,
+            latency_ns: 12_000_000,
+            outcome: "ok".to_string(),
+        };
+        let line = render_slow_record(&entry, 10);
+        let v: serde_json::Value = serde_json::from_str(&line).expect("parses");
+        assert_eq!(v.get("slow_request").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(v.get("req").and_then(|n| n.as_u64()), Some(7));
+        assert_eq!(v.get("id").and_then(|s| s.as_str()), Some("a b"));
+        assert_eq!(v.get("latency_ms").and_then(|n| n.as_u64()), Some(12));
+        assert_eq!(v.get("threshold_ms").and_then(|n| n.as_u64()), Some(10));
+        assert_eq!(v.get("outcome").and_then(|s| s.as_str()), Some("ok"));
     }
 }

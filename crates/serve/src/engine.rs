@@ -14,12 +14,13 @@
 use crate::chaos::{Chaos, ChaosAction};
 use crate::error::ServeError;
 use crate::fingerprint::fingerprint;
+use crate::flight::{FlightEntry, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use crate::proto::{
     parse_frame, EdgeSpec, Frame, MachineSource, ReplyBuilder, Request, DEFAULT_MAX_FRAME_BYTES,
 };
 use rmd_core::{reduce_with_fallback, FallbackEvent, Limits, Objective, ReduceOptions, RmdError};
 use rmd_machine::{mdl, models, MachineDescription};
-use rmd_obs::MetricRegistry;
+use rmd_obs::{Event, EventKind, MetricRegistry};
 use rmd_query::{ModuloMaskCache, WordLayout};
 use rmd_sched::{mii::mii, DepGraph, ImsConfig, ImsError, IterativeModuloScheduler, Representation};
 use std::collections::HashMap;
@@ -46,6 +47,8 @@ pub struct EngineConfig {
     /// content fingerprint; others are refused with an `uncertified`
     /// reply. `None` (the default) disables the gate.
     pub cert_dir: Option<std::path::PathBuf>,
+    /// Request summaries retained by the crash flight recorder.
+    pub flight_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +61,7 @@ impl Default for EngineConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             chaos: None,
             cert_dir: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -133,11 +137,13 @@ pub struct ServeEngine {
     /// Fingerprint the currently executing request resolved; read back
     /// for quarantine when the request panics.
     touched: Option<String>,
+    flight: FlightRecorder,
 }
 
 impl ServeEngine {
     /// A fresh engine.
     pub fn new(cfg: EngineConfig) -> Self {
+        let flight = FlightRecorder::new(cfg.flight_capacity);
         ServeEngine {
             cfg,
             machines: HashMap::new(),
@@ -147,6 +153,7 @@ impl ServeEngine {
             started: Instant::now(),
             draining: false,
             touched: None,
+            flight,
         }
     }
 
@@ -180,6 +187,13 @@ impl ServeEngine {
     ///
     /// Never panics: request execution runs under `catch_unwind`, and a
     /// panic quarantines whatever cached machine the request touched.
+    ///
+    /// When the frame carries `trace: true`, rmd-obs recording is
+    /// enabled for the duration of this request and the reply gains a
+    /// `trace` member holding its span tree (parse → cache lookup →
+    /// reduction → schedule → reply) as an inline Chrome-trace slice.
+    /// With tracing off — the default — the reply bytes are identical
+    /// to the offline CLI path.
     pub fn handle_line(&mut self, line: &str, admitted_at: Instant) -> (String, bool) {
         let idx = self.req_index;
         self.req_index += 1;
@@ -198,9 +212,29 @@ impl ServeEngine {
             line
         };
 
+        let parse_start = rmd_obs::now_ns();
         let frame = parse_frame(line, self.cfg.max_frame_bytes);
+        let parse_dur = rmd_obs::now_ns().saturating_sub(parse_start);
         let id = frame.id.clone();
-        let (reply, shutdown) = self.handle_frame(frame, admitted_at, action);
+        let kind = request_kind(&frame);
+        let tracing_was = if frame.trace {
+            let was = rmd_obs::is_enabled();
+            rmd_obs::set_enabled(true);
+            rmd_obs::drain_events(); // discard this thread's stale events
+            Some(was)
+        } else {
+            None
+        };
+        let trace = frame.trace;
+
+        let quarantined_before = self.metrics.counter("serve.quarantined");
+        self.touched = None;
+        let (reply, shutdown) = self.handle_frame(frame, admitted_at, action, idx);
+        let outcome = match &reply {
+            Ok(_) => "ok".to_string(),
+            Err(e) => e.kind().to_string(),
+        };
+        let panicked = matches!(&reply, Err(ServeError::Panicked { .. }));
         let reply = match reply {
             Ok(r) => {
                 self.metrics.inc("serve.ok", 1);
@@ -214,6 +248,55 @@ impl ServeEngine {
         };
         let elapsed = admitted_at.elapsed().as_nanos() as u64;
         self.metrics.observe("serve.latency_ns", elapsed);
+
+        // Flight recorder: every request leaves a summary, and a panic
+        // trips a black-box dump that includes the offender itself.
+        self.flight.record(FlightEntry {
+            req: idx,
+            id,
+            kind,
+            fingerprint: self.touched.clone(),
+            latency_ns: elapsed,
+            outcome,
+        });
+        if panicked {
+            let reason = if self.metrics.counter("serve.quarantined") > quarantined_before {
+                "panic+quarantine"
+            } else {
+                "panic"
+            };
+            self.flight.trip(reason);
+        }
+
+        let reply = if let Some(was) = tracing_was {
+            let mut events = rmd_obs::drain_events();
+            events.insert(
+                0,
+                Event {
+                    cat: "serve",
+                    name: "parse",
+                    kind: EventKind::Span,
+                    start_ns: parse_start,
+                    dur_ns: parse_dur,
+                    tid: 0,
+                    arg: Some(("req", idx)),
+                },
+            );
+            events.push(Event {
+                cat: "serve",
+                name: "reply",
+                kind: EventKind::Instant,
+                start_ns: rmd_obs::now_ns(),
+                dur_ns: 0,
+                tid: 0,
+                arg: Some(("req", idx)),
+            });
+            rmd_obs::set_enabled(was);
+            splice_trace(reply, &events)
+        } else {
+            debug_assert!(!trace);
+            reply
+        };
         (reply, shutdown)
     }
 
@@ -222,6 +305,7 @@ impl ServeEngine {
         frame: Frame,
         admitted_at: Instant,
         action: ChaosAction,
+        idx: u64,
     ) -> (Result<String, ServeError>, bool) {
         if self.draining {
             return (Err(ServeError::ShuttingDown), false);
@@ -250,13 +334,14 @@ impl ServeEngine {
             Request::Schedule { .. } => "schedule",
             Request::Suite { .. } => "suite",
             Request::Status => "status",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         };
         self.touched = None;
         let id_owned = id.map(str::to_string);
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.execute(req, id_owned.as_deref(), deadline, action)
+            self.execute(req, id_owned.as_deref(), deadline, action, idx)
         }));
         self.metrics.observe(
             &format!("serve.latency_ns.{ty}"),
@@ -266,8 +351,10 @@ impl ServeEngine {
             Ok(r) => (r, shutdown),
             Err(payload) => {
                 // Quarantine: drop the entry this request touched so a
-                // partial mutation can never serve a later request.
-                if let Some(fp) = self.touched.take() {
+                // partial mutation can never serve a later request. The
+                // fingerprint stays readable in `touched` so the flight
+                // recorder can attribute the incident.
+                if let Some(fp) = self.touched.clone() {
                     if self.machines.remove(&fp).is_some() {
                         self.metrics.inc("serve.quarantined", 1);
                     }
@@ -290,6 +377,7 @@ impl ServeEngine {
         id: Option<&str>,
         deadline: Deadline,
         action: ChaosAction,
+        idx: u64,
     ) -> Result<String, ServeError> {
         // Chaos slow handler: burn wall-clock before doing the work so
         // deadline enforcement has something to catch.
@@ -303,21 +391,27 @@ impl ServeEngine {
                 source,
                 strict,
                 max_steps,
-            } => self.exec_machine(id, source, strict, max_steps, deadline, action),
+            } => self.exec_machine(id, source, strict, max_steps, deadline, action, idx),
             Request::Schedule {
                 fingerprint,
                 nodes,
                 edges,
                 budget_ratio,
                 max_ii,
-            } => self.exec_schedule(id, &fingerprint, &nodes, &edges, budget_ratio, max_ii, deadline, action),
+            } => self.exec_schedule(id, &fingerprint, &nodes, &edges, budget_ratio, max_ii, deadline, action, idx),
             Request::Suite {
                 fingerprint,
                 loops,
                 seed,
                 threads,
-            } => self.exec_suite(id, &fingerprint, loops, seed, threads, deadline, action),
+            } => self.exec_suite(id, &fingerprint, loops, seed, threads, deadline, action, idx),
             Request::Status => Ok(self.exec_status(id)),
+            Request::Metrics => Ok(ReplyBuilder::ok(id, "metrics")
+                .raw(
+                    "metrics",
+                    &rmd_obs::export::registry_to_json(&self.metrics_snapshot()),
+                )
+                .finish()),
             Request::Shutdown => Ok(ReplyBuilder::ok(id, "shutdown")
                 .bool("draining", true)
                 .finish()),
@@ -366,10 +460,13 @@ impl ServeEngine {
         max_steps: Option<u64>,
         deadline: Deadline,
         action: ChaosAction,
+        idx: u64,
     ) -> Result<String, ServeError> {
         let m = self.load_source(&source)?;
+        let lookup_span = rmd_obs::span_with("serve", "cache_lookup", "req", idx);
         let fp = fingerprint(&m);
         self.touched = Some(fp.clone());
+        drop(lookup_span);
         self.chaos_panic_point(action);
         if let Some(entry) = self.machines.get_mut(&fp) {
             self.tick += 1;
@@ -398,7 +495,9 @@ impl ServeEngine {
             limits: Limits::default(),
             max_steps,
         };
+        let reduce_span = rmd_obs::span_with("serve", "reduction", "req", idx);
         let red = reduce_with_fallback(&m, Objective::KCycleWord { k: layout.k }, &options);
+        drop(reduce_span);
         if strict {
             if let Some(ev) = &red.fallback {
                 return Err(ServeError::Rmd(ev.error().clone()));
@@ -477,8 +576,12 @@ impl ServeEngine {
         max_ii: Option<u32>,
         deadline: Deadline,
         action: ChaosAction,
+        idx: u64,
     ) -> Result<String, ServeError> {
-        self.lookup(fp)?;
+        {
+            let _g = rmd_obs::span_with("serve", "cache_lookup", "req", idx);
+            self.lookup(fp)?;
+        }
         self.chaos_panic_point(action);
         let defaults = ImsConfig::default();
         let config = ImsConfig {
@@ -491,6 +594,7 @@ impl ServeEngine {
         deadline.check()?;
         let lower = mii(&g, &entry.original);
         let ims = IterativeModuloScheduler::new(config);
+        let sched_span = rmd_obs::span_with("serve", "schedule", "req", idx);
         let r = ims
             .schedule_with_mii_cached(
                 &g,
@@ -507,6 +611,7 @@ impl ServeEngine {
                     detail: format!("scheduler error: {other}"),
                 },
             })?;
+        drop(sched_span);
         deadline.check()?;
         Ok(ReplyBuilder::ok(id, "schedule")
             .str("fingerprint", fp)
@@ -528,8 +633,12 @@ impl ServeEngine {
         threads: Option<usize>,
         deadline: Deadline,
         action: ChaosAction,
+        idx: u64,
     ) -> Result<String, ServeError> {
-        self.lookup(fp)?;
+        {
+            let _g = rmd_obs::span_with("serve", "cache_lookup", "req", idx);
+            self.lookup(fp)?;
+        }
         self.chaos_panic_point(action);
         let threads = threads.unwrap_or(1).clamp(1, self.cfg.max_threads);
         let entry = self.machines.get(fp).expect("looked up above");
@@ -558,6 +667,7 @@ impl ServeEngine {
         deadline.check()?;
         // Dispatch in chunks through the existing parallel engine so
         // long suites still honor their deadline between chunks.
+        let _suite_span = rmd_obs::span_with("serve", "schedule", "req", idx);
         let mut runs = Vec::with_capacity(suite.len());
         for chunk in suite.chunks(SUITE_DEADLINE_CHUNK) {
             runs.extend(rmd_bench::run_suite_runs_parallel(
@@ -596,19 +706,78 @@ impl ServeEngine {
             .finish()
     }
 
+    /// A point-in-time copy of the full metric registry: the engine's
+    /// own counters/gauges/histograms plus every cached machine's
+    /// mask-cache statistics. The live registry is untouched, so
+    /// snapshots are repeatable — taking one every N requests (the
+    /// daemon's `--metrics-every`) never double-counts the additively
+    /// exported mask-cache counters, and a snapshot equals the merge of
+    /// the per-source registries at that instant.
+    pub fn metrics_snapshot(&self) -> MetricRegistry {
+        let mut snap = self.metrics.clone();
+        for entry in self.machines.values() {
+            entry.mask_cache.export_to(&mut snap, "serve.mask_cache");
+        }
+        snap.set_gauge("serve.machines_cached", self.machines.len() as u64);
+        snap
+    }
+
     /// Exports per-machine mask-cache statistics into the registry and
     /// returns the full registry as compact JSON — called once by the
     /// daemon when it drains.
     pub fn flush_metrics(&mut self) -> String {
-        let mut agg = MetricRegistry::new();
-        for entry in self.machines.values() {
-            entry.mask_cache.export_to(&mut agg, "serve.mask_cache");
-        }
-        self.metrics.merge(&agg);
-        self.metrics
-            .set_gauge("serve.machines_cached", self.machines.len() as u64);
+        self.metrics = self.metrics_snapshot();
         rmd_obs::export::registry_to_json(&self.metrics)
     }
+
+    /// Queues a flight-recorder dump for `reason` ("drain", …); the
+    /// transport layer publishes it via [`take_flight_dumps`].
+    ///
+    /// [`take_flight_dumps`]: ServeEngine::take_flight_dumps
+    pub fn trip_flight(&mut self, reason: &str) {
+        self.flight.trip(reason);
+    }
+
+    /// Takes every flight-recorder dump tripped since the last call
+    /// (each one self-describing JSON), oldest first.
+    pub fn take_flight_dumps(&mut self) -> Vec<String> {
+        self.flight.take_dumps()
+    }
+
+    /// The most recent flight-recorder entry, if any — the request the
+    /// engine just answered. The daemon's `--slow-ms` log reads this.
+    pub fn last_flight_entry(&self) -> Option<&FlightEntry> {
+        self.flight.entries().last()
+    }
+}
+
+/// The request kind recorded in the flight ring — the protocol type
+/// name, or `"invalid"` when the body never parsed.
+fn request_kind(frame: &Frame) -> &'static str {
+    match &frame.body {
+        Ok(Request::Machine { .. }) => "machine",
+        Ok(Request::Schedule { .. }) => "schedule",
+        Ok(Request::Suite { .. }) => "suite",
+        Ok(Request::Status) => "status",
+        Ok(Request::Metrics) => "metrics",
+        Ok(Request::Shutdown) => "shutdown",
+        Err(_) => "invalid",
+    }
+}
+
+/// Splices a Chrome-trace slice into a finished reply line as its
+/// `trace` member. The exporter's inter-token newlines are stripped so
+/// the reply stays one line — the framing invariant of the protocol —
+/// which is safe because string values escape `\n`.
+fn splice_trace(reply: String, events: &[Event]) -> String {
+    let chrome = rmd_obs::export::events_to_chrome_trace(events).replace('\n', "");
+    let mut out = reply;
+    debug_assert!(out.ends_with('}'));
+    out.pop();
+    out.push_str(",\"trace\":");
+    out.push_str(&chrome);
+    out.push('}');
+    out
 }
 
 /// Builds the dependence graph of a `schedule` request, resolving node
@@ -882,6 +1051,130 @@ mod tests {
         // ...and resubmitting it heals the daemon in place.
         let fp2 = submit_fig1(&mut e);
         assert_eq!(fp, fp2);
+    }
+
+    #[test]
+    fn metrics_frame_snapshots_are_repeatable() {
+        let mut e = engine();
+        let fp = submit_fig1(&mut e);
+        let line = format!(
+            r#"{{"type":"schedule","fingerprint":"{fp}","nodes":["A","B"],"edges":[[0,1,2,0]]}}"#
+        );
+        ok_reply(&mut e, &line);
+        let a = ok_reply(&mut e, r#"{"type":"metrics","id":9}"#);
+        let b = ok_reply(&mut e, r#"{"type":"metrics","id":10}"#);
+        let counter = |v: &serde_json::Value, name: &str| {
+            v.get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get(name))
+                .and_then(serde_json::Value::as_u64)
+        };
+        // The engine's own counters advance by exactly the metrics
+        // request in between...
+        assert_eq!(counter(&a, "serve.requests"), Some(3));
+        assert_eq!(counter(&b, "serve.requests"), Some(4));
+        // ...while the additively exported mask-cache statistics do NOT
+        // double-count across snapshots: no schedule ran in between, so
+        // the numbers are identical.
+        assert_eq!(
+            counter(&a, "serve.mask_cache.misses"),
+            counter(&b, "serve.mask_cache.misses")
+        );
+        assert!(counter(&a, "serve.mask_cache.misses").is_some());
+        // The latency histogram is exposed with derived quantiles.
+        let hist = a
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get("serve.latency_ns"))
+            .expect("latency histogram");
+        assert!(hist.get("p50").and_then(serde_json::Value::as_u64).is_some());
+        assert!(hist.get("p99").and_then(serde_json::Value::as_u64).is_some());
+    }
+
+    #[test]
+    fn traced_request_carries_span_tree_untraced_stays_byte_identical() {
+        let mut e = engine();
+        let fp = submit_fig1(&mut e);
+        let plain = format!(
+            r#"{{"type":"schedule","fingerprint":"{fp}","nodes":["A","B"],"edges":[[0,1,2,0]],"id":1}}"#
+        );
+        let traced = format!(
+            r#"{{"type":"schedule","fingerprint":"{fp}","nodes":["A","B"],"edges":[[0,1,2,0]],"id":1,"trace":true}}"#
+        );
+        let (before, _) = e.handle_line(&plain, Instant::now());
+        let (with_trace, _) = e.handle_line(&traced, Instant::now());
+        let (after, _) = e.handle_line(&plain, Instant::now());
+        // Tracing off: byte-identical replies before and after the
+        // traced request — enabling tracing for one request leaves no
+        // residue.
+        assert_eq!(before, after);
+        assert!(!before.contains("\"trace\""));
+        // The traced reply is one line and carries the span tree.
+        assert!(!with_trace.contains('\n'));
+        let v: serde_json::Value = serde_json::from_str(&with_trace).expect("traced reply parses");
+        assert_eq!(v.get("ok").and_then(serde_json::Value::as_bool), Some(true));
+        let events = v
+            .get("trace")
+            .and_then(|t| t.get("traceEvents"))
+            .and_then(serde_json::Value::as_array)
+            .expect("trace.traceEvents");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|ev| ev.get("name").and_then(serde_json::Value::as_str))
+            .collect();
+        assert_eq!(names.first(), Some(&"parse"), "{names:?}");
+        assert_eq!(names.last(), Some(&"reply"), "{names:?}");
+        assert!(names.contains(&"cache_lookup"), "{names:?}");
+        assert!(names.contains(&"schedule"), "{names:?}");
+        // Every other reply field matches the untraced reply.
+        let p: serde_json::Value = serde_json::from_str(&before).unwrap();
+        assert_eq!(v.get("times"), p.get("times"));
+        assert_eq!(v.get("ii"), p.get("ii"));
+    }
+
+    #[test]
+    fn panic_trips_a_parseable_flight_dump() {
+        let seed = (0u64..10_000)
+            .find(|&s| {
+                let c = Chaos::new(s);
+                c.action(0) == ChaosAction::None && c.action(1) == ChaosAction::Panic
+            })
+            .expect("a suitable chaos seed exists");
+        let mut e = ServeEngine::new(EngineConfig {
+            chaos: Some(Chaos::new(seed)),
+            ..EngineConfig::default()
+        });
+        let fp = submit_fig1(&mut e);
+        assert!(e.take_flight_dumps().is_empty());
+        let line = format!(r#"{{"type":"schedule","fingerprint":"{fp}","nodes":["A"],"id":42}}"#);
+        let (reply, _) = e.handle_line(&line, Instant::now());
+        assert!(reply.contains("\"panicked\""), "{reply}");
+        let dumps = e.take_flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        let v: serde_json::Value = serde_json::from_str(&dumps[0]).expect("dump parses");
+        assert_eq!(
+            v.get("flight_recorder").and_then(serde_json::Value::as_str),
+            Some(crate::flight::FLIGHT_SCHEMA)
+        );
+        assert_eq!(
+            v.get("reason").and_then(serde_json::Value::as_str),
+            Some("panic+quarantine")
+        );
+        let entries = v.get("entries").and_then(serde_json::Value::as_array).unwrap();
+        let last = entries.last().unwrap();
+        assert_eq!(last.get("id").and_then(serde_json::Value::as_u64), Some(42));
+        assert_eq!(
+            last.get("outcome").and_then(serde_json::Value::as_str),
+            Some("panicked")
+        );
+        assert_eq!(
+            last.get("fingerprint").and_then(serde_json::Value::as_str),
+            Some(fp.as_str()),
+            "the dump attributes the quarantined machine"
+        );
+        // Drain-style manual trips work too and queue separately.
+        e.trip_flight("drain");
+        assert_eq!(e.take_flight_dumps().len(), 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! - [`error`] — the typed error taxonomy and its JSON rendering.
 //! - [`chaos`] — seeded fault injection reusing rmd-fault generators.
 //! - [`signal`] — SIGTERM flag (the workspace's one unsafe block).
+//! - [`flight`] — the crash flight recorder (black-box ring + dumps).
 //! - [`mod@fingerprint`] — machine fingerprints keying the cache.
 //! - [`loadgen`] — the `rmd bench serve` in-process load driver.
 
@@ -29,6 +30,7 @@ pub mod daemon;
 pub mod engine;
 pub mod error;
 pub mod fingerprint;
+pub mod flight;
 pub mod loadgen;
 pub mod proto;
 pub mod signal;
@@ -36,6 +38,7 @@ pub mod signal;
 pub use chaos::{Chaos, ChaosAction};
 pub use daemon::{run, ServeOptions, ServeSummary, SharedWriter};
 pub use engine::{EngineConfig, ServeEngine};
+pub use flight::{FlightEntry, FlightRecorder};
 pub use error::ServeError;
 pub use fingerprint::fingerprint;
 pub use loadgen::{run_load, LoadOptions, LoadReport};

@@ -6,8 +6,10 @@
 //! ```text
 //! frame    := object NL                    ; exactly one object per line
 //! request  := { "type": kind, ["id": string|number,]
-//!               ["deadline_ms": number,] ...kind-specific members }
-//! kind     := "machine" | "schedule" | "suite" | "status" | "shutdown"
+//!               ["deadline_ms": number,] ["trace": bool,]
+//!               ...kind-specific members }
+//! kind     := "machine" | "schedule" | "suite" | "status" | "metrics"
+//!           | "shutdown"
 //! reply    := { "ok": true, "id": id|null, "type": kind, ... }
 //!           | { "ok": false, "id": id|null,
 //!               "error": { "code": number, "kind": string, "detail": string },
@@ -96,6 +98,9 @@ pub enum Request {
     },
     /// Report daemon counters.
     Status,
+    /// Snapshot the full metric registry (counters, gauges, latency
+    /// histograms) without pausing request processing.
+    Metrics,
     /// Begin a graceful drain.
     Shutdown,
 }
@@ -108,6 +113,9 @@ pub struct Frame {
     pub id: Option<String>,
     /// The request's `deadline_ms` member.
     pub deadline_ms: Option<u64>,
+    /// The request's `trace` member: when `true`, the reply carries
+    /// the request's span tree as an inline Chrome-trace slice.
+    pub trace: bool,
     /// The parsed body, or the typed error to reply with.
     pub body: Result<Request, ServeError>,
 }
@@ -118,6 +126,7 @@ impl Frame {
         Frame {
             id: None,
             deadline_ms: None,
+            trace: false,
             body: Err(e),
         }
     }
@@ -155,6 +164,15 @@ fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, ServeError> {
         None => Ok(None),
         Some(m) => m.as_u64().map(Some).ok_or_else(|| ServeError::BadRequest {
             detail: format!("{key:?} must be a non-negative integer"),
+        }),
+    }
+}
+
+fn opt_bool(v: &Value, key: &str) -> Result<bool, ServeError> {
+    match v.get(key) {
+        None => Ok(false),
+        Some(b) => b.as_bool().ok_or_else(|| ServeError::BadRequest {
+            detail: format!("{key:?} must be a boolean"),
         }),
     }
 }
@@ -334,6 +352,7 @@ fn parse_body(v: &Value) -> Result<Request, ServeError> {
             })
         }
         "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServeError::UnknownType {
             got: other.to_string(),
@@ -369,6 +388,7 @@ pub fn parse_frame(line: &str, max_bytes: usize) -> Frame {
             return Frame {
                 id: None,
                 deadline_ms: None,
+                trace: false,
                 body: Err(e),
             }
         }
@@ -379,6 +399,18 @@ pub fn parse_frame(line: &str, max_bytes: usize) -> Frame {
             return Frame {
                 id,
                 deadline_ms: None,
+                trace: false,
+                body: Err(e),
+            }
+        }
+    };
+    let trace = match opt_bool(&v, "trace") {
+        Ok(t) => t,
+        Err(e) => {
+            return Frame {
+                id,
+                deadline_ms,
+                trace: false,
                 body: Err(e),
             }
         }
@@ -387,6 +419,7 @@ pub fn parse_frame(line: &str, max_bytes: usize) -> Frame {
     Frame {
         id,
         deadline_ms,
+        trace,
         body,
     }
 }
@@ -474,6 +507,7 @@ mod tests {
         );
         assert_eq!(f.id.as_deref(), Some("7"));
         assert_eq!(f.deadline_ms, Some(250));
+        assert!(!f.trace);
         assert_eq!(
             f.body.unwrap(),
             Request::Machine {
@@ -502,6 +536,26 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_metrics_and_trace_members() {
+        let f = parse_frame(r#"{"type":"metrics","id":1}"#, DEFAULT_MAX_FRAME_BYTES);
+        assert_eq!(f.body.unwrap(), Request::Metrics);
+        assert!(!f.trace);
+
+        let f = parse_frame(
+            r#"{"type":"status","trace":true}"#,
+            DEFAULT_MAX_FRAME_BYTES,
+        );
+        assert_eq!(f.body.unwrap(), Request::Status);
+        assert!(f.trace);
+
+        // A non-boolean trace member is a typed error, and the flag
+        // stays off so the error reply is untraced.
+        let f = parse_frame(r#"{"type":"status","trace":1}"#, DEFAULT_MAX_FRAME_BYTES);
+        assert_eq!(f.body.unwrap_err().kind(), "bad_request");
+        assert!(!f.trace);
     }
 
     #[test]

@@ -2,7 +2,11 @@
 //! malformed, panicking, and deadline-busting frames — with zero
 //! daemon crashes, every request answered (success or typed error),
 //! every successful schedule byte-identical to the offline library
-//! result, and a clean SIGTERM drain mid-burst.
+//! result, and a clean SIGTERM drain mid-burst. Live telemetry rides
+//! along: periodic metrics snapshots stay monotonic and parseable,
+//! traced requests carry their span tree without perturbing untraced
+//! replies, and every injected panic trips a parseable flight-recorder
+//! dump.
 
 use rmd_core::{reduce_with_fallback, Objective, ReduceOptions};
 use rmd_machine::models;
@@ -48,8 +52,9 @@ fn schedule_line(i: usize, fp: &str) -> String {
         .collect::<Vec<_>>()
         .join(",");
     let deadline = if i % 7 == 0 { r#","deadline_ms":1"# } else { "" };
+    let trace = if i % 11 == 0 { r#","trace":true"# } else { "" };
     format!(
-        r#"{{"type":"schedule","id":{i},"fingerprint":"{fp}","nodes":[{nodes_json}],"edges":[{edges_json}]{deadline}}}"#
+        r#"{{"type":"schedule","id":{i},"fingerprint":"{fp}","nodes":[{nodes_json}],"edges":[{edges_json}]{deadline}{trace}}}"#
     )
 }
 
@@ -61,6 +66,9 @@ fn build_line(i: usize, fig1_fp: &str, cydra_fp: &str) -> String {
         format!(
             r#"{{"type":"suite","id":{i},"fingerprint":"{cydra_fp}","loops":{SUITE_LOOPS},"seed":{SUITE_SEED},"threads":{SUITE_THREADS}}}"#
         )
+    } else if i % 73 == 0 {
+        // Live telemetry mid-burst: a metrics frame between requests.
+        format!(r#"{{"type":"metrics","id":{i}}}"#)
     } else if i % 50 == 0 {
         format!(r#"{{"type":"status","id":{i}}}"#)
     } else if i % 37 == 0 {
@@ -160,14 +168,33 @@ fn chaos_soak_ten_thousand_requests() {
     let mut kinds: HashMap<String, u64> = HashMap::new();
     let mut ok_schedules = 0u64;
     let mut ok_suites = 0u64;
+    let mut ok_metrics = 0u64;
+    let mut traced_schedules = 0u64;
     let mut answered = 0u64;
+    let mut last_requests = 0u64;
     for i in 1..=SOAK_REQUESTS {
         let line = build_line(i, &fig1_fp, &cydra_fp);
         let (reply, shutdown) = engine.handle_line(&line, Instant::now());
         assert!(!shutdown, "nothing in the soak requests shutdown");
+        assert!(!reply.contains('\n'), "request {i}: reply broke line framing");
         let v: serde_json::Value = serde_json::from_str(&reply)
             .unwrap_or_else(|e| panic!("request {i}: reply not JSON ({e}): {reply}"));
         answered += 1;
+        if i % 500 == 0 {
+            // --metrics-every at work: a periodic snapshot taken mid-burst
+            // must render as valid JSON with a monotonic request counter,
+            // and taking it must not perturb the live registry.
+            let snap = rmd_obs::export::registry_to_json(&engine.metrics_snapshot());
+            let sv: serde_json::Value =
+                serde_json::from_str(&snap).unwrap_or_else(|e| panic!("snapshot not JSON ({e})"));
+            let reqs = sv
+                .get("counters")
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(|r| r.as_u64())
+                .expect("snapshot carries serve.requests");
+            assert!(reqs >= last_requests, "request counter went backwards");
+            last_requests = reqs;
+        }
         match v.get("ok").and_then(|o| o.as_bool()) {
             Some(true) => match v.get("type").and_then(|t| t.as_str()) {
                 Some("schedule") => {
@@ -186,7 +213,34 @@ fn chaos_soak_ten_thousand_requests() {
                         &got_times, want_times,
                         "request {i}: schedule bytes diverged from offline"
                     );
+                    // Tracing changes the reply's *decoration*, never its
+                    // *result*: traced replies carry a span tree, untraced
+                    // replies carry no trace member at all.
+                    if id % 11 == 0 {
+                        let events = v
+                            .get("trace")
+                            .and_then(|t| t.get("traceEvents"))
+                            .and_then(|e| e.as_array())
+                            .unwrap_or_else(|| panic!("request {i}: traced reply lacks span tree"));
+                        assert!(!events.is_empty(), "request {i}: empty span tree");
+                        traced_schedules += 1;
+                    } else {
+                        assert!(v.get("trace").is_none(), "request {i}: stray trace member");
+                    }
                     ok_schedules += 1;
+                }
+                Some("metrics") => {
+                    let reqs = v
+                        .get("metrics")
+                        .and_then(|m| m.get("counters"))
+                        .and_then(|c| c.get("serve.requests"))
+                        .and_then(|r| r.as_u64())
+                        .unwrap_or_else(|| {
+                            panic!("request {i}: metrics reply lacks serve.requests")
+                        });
+                    assert!(reqs >= last_requests, "request counter went backwards");
+                    last_requests = reqs;
+                    ok_metrics += 1;
                 }
                 Some("suite") => {
                     assert_eq!(
@@ -222,6 +276,8 @@ fn chaos_soak_ten_thousand_requests() {
     assert_eq!(answered, SOAK_REQUESTS as u64, "every request answered");
     assert!(ok_schedules >= 1_000, "only {ok_schedules} schedules verified");
     assert!(ok_suites >= 1, "no suite request succeeded");
+    assert!(ok_metrics >= 1, "no metrics frame succeeded mid-burst");
+    assert!(traced_schedules >= 1, "no traced schedule survived chaos");
     assert!(kinds.get("malformed").copied().unwrap_or(0) >= 1, "{kinds:?}");
     assert!(kinds.get("oversized").copied().unwrap_or(0) >= 1, "{kinds:?}");
     assert!(kinds.get("panicked").copied().unwrap_or(0) >= 1, "{kinds:?}");
@@ -254,6 +310,39 @@ fn chaos_soak_ten_thousand_requests() {
             "untyped error kind {kind}"
         );
     }
+    // Every injected panic tripped the flight recorder, and every dump
+    // is a parseable post-mortem whose newest entry is the offender.
+    // (The machine resubmission retries above can panic too, so the
+    // dump count is a floor, not an exact match.)
+    let dumps = engine.take_flight_dumps();
+    let panicked = kinds.get("panicked").copied().unwrap_or(0);
+    assert!(
+        dumps.len() as u64 >= panicked,
+        "{panicked} panics but only {} flight dumps",
+        dumps.len()
+    );
+    for dump in &dumps {
+        let d: serde_json::Value =
+            serde_json::from_str(dump).unwrap_or_else(|e| panic!("dump not JSON ({e}): {dump}"));
+        assert_eq!(
+            d.get("flight_recorder").and_then(|s| s.as_str()),
+            Some("rmd-flight/1"),
+            "dump lacks schema tag"
+        );
+        let reason = d.get("reason").and_then(|s| s.as_str()).expect("dump carries reason");
+        assert!(reason.starts_with("panic"), "unexpected dump reason {reason:?}");
+        let entries = d
+            .get("entries")
+            .and_then(|e| e.as_array())
+            .expect("dump carries entries");
+        assert!(!entries.is_empty(), "empty flight dump");
+        assert_eq!(
+            entries.last().unwrap().get("outcome").and_then(|o| o.as_str()),
+            Some("panicked"),
+            "newest flight entry is not the panicking request"
+        );
+    }
+
     // Metrics survive the whole ordeal and still flush as valid JSON.
     let metrics = engine.flush_metrics();
     assert!(serde_json::from_str(&metrics).is_ok(), "{metrics}");
