@@ -5,7 +5,7 @@
 //! machine-readable `BENCH_<name>.json` record — the perf trajectory
 //! every later optimization PR is judged against.
 //!
-//! Record schema (`"schema": "rmd-bench/5"`): see the field docs on
+//! Record schema (`"schema": "rmd-bench/6"`): see the field docs on
 //! [`BenchRecord`] and the schema note in the repository README.
 //! Schema 2 added the `phases` section — per-phase wall-clock of one
 //! traced reduction run (see [`crate::profile::PhaseTiming`]). Schema 3
@@ -14,10 +14,17 @@
 //! `check_window` fields of [`crate::CounterSummary`]. Schema 4 added
 //! the `serve` section — the `rmd serve` daemon load-driver workload
 //! (see [`ServeBench`]); the CLI fills it in, so records written by
-//! other drivers carry `"serve": null`. Schema 5 adds the `stress`
+//! other drivers carry `"serve": null`. Schema 5 added the `stress`
 //! section — a seeded 100k-loop scheduling stress run sized for the
 //! parallel scheduler (see [`StressBench`]); like `scheduler`, it is
-//! `null` for machines outside the suite vocabulary.
+//! `null` for machines outside the suite vocabulary. Schema 6 adds the
+//! top-level `host_parallelism` field (cores actually available to the
+//! run — the honest denominator for any speedup) and the
+//! `speedup_by_threads` sweeps on `scheduler` and `stress` (see
+//! [`ThreadSpeedup`]): parallel wall-clock and schedule identity at
+//! several thread counts, with the legacy flat `parallel_wall_ms` /
+//! `speedup` / `schedules_identical` fields now aliases for the sweep
+//! entry at the record's `threads`.
 //! Timings are wall-clock milliseconds measured on whatever host ran
 //! the bench; the derived throughput numbers (`queries_per_sec`,
 //! `speedup`) are for trend-watching, not cross-host comparison.
@@ -40,7 +47,7 @@ use std::time::Instant;
 
 /// Schema tag stamped into every record; bump on breaking layout
 /// changes.
-pub const SCHEMA: &str = "rmd-bench/5";
+pub const SCHEMA: &str = "rmd-bench/6";
 
 /// Loop count of the full suite (the paper's §8 corpus).
 pub const FULL_LOOPS: usize = 1327;
@@ -97,6 +104,12 @@ pub struct BenchRecord {
     pub quick: bool,
     /// Worker threads used by the parallel suite run.
     pub threads: usize,
+    /// Logical CPUs available to the benching process (schema
+    /// rmd-bench/6 addition). The honest denominator for every speedup
+    /// in the record: a `speedup` near 1.0 at `threads = 8` means
+    /// nothing was lost to parallel overhead when this is 1, and means
+    /// the runner failed to scale when this is 8.
+    pub host_parallelism: usize,
     /// Record creation time, seconds since the Unix epoch.
     pub unix_time_secs: u64,
     /// Reduction-sweep workload.
@@ -120,6 +133,25 @@ pub struct BenchRecord {
     /// Seeded 100k-loop scheduling stress run (schema rmd-bench/5
     /// addition); `null` for machines outside the suite vocabulary.
     pub stress: Option<StressBench>,
+}
+
+/// One entry of a `speedup_by_threads` sweep (schema rmd-bench/6):
+/// the parallel suite run repeated at one thread count against the
+/// same serial baseline. Entries are sorted by ascending `threads`, so
+/// compare metric paths like `scheduler.speedup_by_threads.0.speedup`
+/// stay stable across regenerated records.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ThreadSpeedup {
+    /// Requested worker threads (the runner additionally caps OS
+    /// workers at [`BenchRecord::host_parallelism`]).
+    pub threads: usize,
+    /// Parallel wall-clock milliseconds at this thread count.
+    pub parallel_wall_ms: f64,
+    /// Serial wall-clock over this entry's parallel wall-clock.
+    pub speedup: f64,
+    /// Whether this run reproduced the serial per-loop results
+    /// bit-for-bit.
+    pub schedules_identical: bool,
 }
 
 /// The seeded many-loop scheduling stress run (schema rmd-bench/5):
@@ -148,6 +180,9 @@ pub struct StressBench {
     pub schedules_identical: bool,
     /// Serial-run throughput, loops per second.
     pub loops_per_sec: f64,
+    /// Thread-count sweep (schema rmd-bench/6): the flat fields above
+    /// are the entry at [`BenchRecord::threads`].
+    pub speedup_by_threads: Vec<ThreadSpeedup>,
 }
 
 /// Throughput and tail latency of an in-process `rmd serve` load run
@@ -262,6 +297,10 @@ pub struct SchedulerBench {
     pub ii_histogram: Vec<IiBucket>,
     /// The paper's Table 5/6 statistics for the run.
     pub stats: SuiteStats,
+    /// Thread-count sweep (schema rmd-bench/6): the flat
+    /// `parallel_wall_ms` / `speedup` / `schedules_identical` fields
+    /// above are the entry at [`BenchRecord::threads`].
+    pub speedup_by_threads: Vec<ThreadSpeedup>,
 }
 
 /// Whether `m` carries the Cydra benchmark-subset vocabulary the loop
@@ -409,6 +448,43 @@ fn query_window_bench(m: &MachineDescription, rounds: u32, backend: &str) -> Que
     }
 }
 
+/// The thread counts a section sweeps: `base` (the schema-6 canonical
+/// points) plus the record's own `threads`, ascending and deduplicated.
+fn sweep_threads(base: &[usize], opts_threads: usize) -> Vec<usize> {
+    let mut v = base.to_vec();
+    v.push(opts_threads);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Runs the parallel suite once per swept thread count against a
+/// serial baseline measured by the caller.
+fn sweep_speedups(
+    m: &MachineDescription,
+    loops: &[Loop],
+    repr: Representation,
+    budget_ratio: f64,
+    serial: &[crate::LoopRun],
+    serial_wall: f64,
+    threads: &[usize],
+) -> Vec<ThreadSpeedup> {
+    threads
+        .iter()
+        .map(|&t| {
+            let t0 = Instant::now();
+            let parallel = run_suite_runs_parallel(m, m, loops, repr, budget_ratio, t);
+            let wall = t0.elapsed().as_secs_f64();
+            ThreadSpeedup {
+                threads: t,
+                parallel_wall_ms: wall * 1e3,
+                speedup: serial_wall / wall.max(1e-9),
+                schedules_identical: serial == parallel,
+            }
+        })
+        .collect()
+}
+
 fn scheduler_bench(m: &MachineDescription, opts: &BenchOptions) -> SchedulerBench {
     let ops = rmd_loops::OpSet::for_cydra_subset(m);
     let count = if opts.quick { QUICK_LOOPS } else { FULL_LOOPS };
@@ -420,11 +496,16 @@ fn scheduler_bench(m: &MachineDescription, opts: &BenchOptions) -> SchedulerBenc
     let serial = run_suite_runs(m, m, &loops, repr, budget_ratio);
     let serial_wall = t0.elapsed().as_secs_f64();
 
-    let t1 = Instant::now();
-    let parallel = run_suite_runs_parallel(m, m, &loops, repr, budget_ratio, opts.threads);
-    let parallel_wall = t1.elapsed().as_secs_f64();
+    let base: &[usize] = if opts.quick { &[2] } else { &[2, 8] };
+    let sweep = sweep_threads(base, opts.threads);
+    let speedup_by_threads =
+        sweep_speedups(m, &loops, repr, budget_ratio, &serial, serial_wall, &sweep);
+    let at_threads = speedup_by_threads
+        .iter()
+        .find(|s| s.threads == opts.threads)
+        .copied()
+        .expect("sweep includes the record's own thread count");
 
-    let schedules_identical = serial == parallel;
     let stats = aggregate(&serial, budget_ratio);
     let ops_scheduled: u64 = serial.iter().map(|r| r.ops as u64).sum();
     let queries: u64 = serial.iter().map(|r| r.counters.total_calls()).sum();
@@ -437,15 +518,16 @@ fn scheduler_bench(m: &MachineDescription, opts: &BenchOptions) -> SchedulerBenc
         loops: loops.len(),
         ops_scheduled,
         serial_wall_ms: serial_wall * 1e3,
-        parallel_wall_ms: parallel_wall * 1e3,
-        speedup: serial_wall / parallel_wall.max(1e-9),
-        schedules_identical,
+        parallel_wall_ms: at_threads.parallel_wall_ms,
+        speedup: at_threads.speedup,
+        schedules_identical: at_threads.schedules_identical,
         queries_per_sec: queries as f64 / serial_wall.max(1e-9),
         ii_histogram: hist
             .into_iter()
             .map(|(ii, loops)| IiBucket { ii, loops })
             .collect(),
         stats,
+        speedup_by_threads,
     }
 }
 
@@ -500,19 +582,26 @@ fn stress_bench(m: &MachineDescription, opts: &BenchOptions) -> StressBench {
     let serial = run_suite_runs(m, m, &loops, repr, budget_ratio);
     let serial_wall = t0.elapsed().as_secs_f64();
 
-    let t1 = Instant::now();
-    let parallel = run_suite_runs_parallel(m, m, &loops, repr, budget_ratio, opts.threads);
-    let parallel_wall = t1.elapsed().as_secs_f64();
+    let base: &[usize] = if opts.quick { &[2] } else { &[1, 2, 4, 8] };
+    let sweep = sweep_threads(base, opts.threads);
+    let speedup_by_threads =
+        sweep_speedups(m, &loops, repr, budget_ratio, &serial, serial_wall, &sweep);
+    let at_threads = speedup_by_threads
+        .iter()
+        .find(|s| s.threads == opts.threads)
+        .copied()
+        .expect("sweep includes the record's own thread count");
 
     StressBench {
         seed: STRESS_SEED,
         loops: loops.len(),
         ops_scheduled: serial.iter().map(|r| r.ops as u64).sum(),
         serial_wall_ms: serial_wall * 1e3,
-        parallel_wall_ms: parallel_wall * 1e3,
-        speedup: serial_wall / parallel_wall.max(1e-9),
-        schedules_identical: serial == parallel,
+        parallel_wall_ms: at_threads.parallel_wall_ms,
+        speedup: at_threads.speedup,
+        schedules_identical: at_threads.schedules_identical,
         loops_per_sec: loops.len() as f64 / serial_wall.max(1e-9),
+        speedup_by_threads,
     }
 }
 
@@ -543,6 +632,7 @@ pub fn bench_machine(machine: &MachineDescription, opts: &BenchOptions) -> Bench
         machine: machine.name().to_owned(),
         quick: opts.quick,
         threads: opts.threads,
+        host_parallelism: crate::parallel::host_parallelism(),
         unix_time_secs: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -866,12 +956,49 @@ mod tests {
         assert!(path.ends_with("BENCH_benchcmd_unit.json"));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(json_is_well_formed(&body));
-        assert!(body.contains("\"schema\": \"rmd-bench/5\""));
+        assert!(body.contains("\"schema\": \"rmd-bench/6\""));
         assert!(body.contains("\"phases\""));
         assert!(body.contains("\"query_window\""));
         assert!(body.contains("\"serve\""));
         assert!(body.contains("\"stress\""));
+        assert!(body.contains("\"host_parallelism\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scheduler_sweep_covers_requested_thread_counts() {
+        let m = cydra5_subset();
+        let opts = BenchOptions {
+            quick: true,
+            threads: 8,
+            out_dir: PathBuf::from("."),
+            backend: None,
+        };
+        let sb = scheduler_bench(&m, &opts);
+        let swept: Vec<usize> = sb.speedup_by_threads.iter().map(|s| s.threads).collect();
+        // Quick sweeps {2} ∪ {opts.threads}, ascending.
+        assert_eq!(swept, vec![2, 8]);
+        for s in &sb.speedup_by_threads {
+            assert!(s.schedules_identical, "threads={}", s.threads);
+            assert!(s.speedup.is_finite() && s.speedup > 0.0, "threads={}", s.threads);
+        }
+        // The flat fields alias the sweep entry at the record's threads.
+        let at = sb
+            .speedup_by_threads
+            .iter()
+            .find(|s| s.threads == opts.threads)
+            .unwrap();
+        assert_eq!(sb.parallel_wall_ms, at.parallel_wall_ms);
+        assert_eq!(sb.speedup, at.speedup);
+        assert_eq!(sb.schedules_identical, at.schedules_identical);
+    }
+
+    #[test]
+    fn sweep_threads_dedups_and_sorts() {
+        assert_eq!(sweep_threads(&[2, 8], 8), vec![2, 8]);
+        assert_eq!(sweep_threads(&[2, 8], 4), vec![2, 4, 8]);
+        assert_eq!(sweep_threads(&[1, 2, 4, 8], 16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(sweep_threads(&[2], 1), vec![1, 2]);
     }
 
     #[test]
@@ -913,8 +1040,11 @@ mod tests {
         let loops = stress_suite(&ops, 200, STRESS_SEED);
         let repr = Representation::Bitvec(WordLayout::widest(64, m.num_resources()));
         let serial = run_suite_runs(&m, &m, &loops, repr, 6.0);
-        let parallel = run_suite_runs_parallel(&m, &m, &loops, repr, 6.0, opts.threads);
-        assert_eq!(serial, parallel, "parallel stress run must be bit-identical");
+        // The full-bench sweep points: byte-identical at every count.
+        for threads in [1usize, 2, 4, 8, opts.threads] {
+            let parallel = run_suite_runs_parallel(&m, &m, &loops, repr, 6.0, threads);
+            assert_eq!(serial, parallel, "threads={threads}: stress run must be bit-identical");
+        }
         assert_eq!(serial.len(), 200);
         assert!(serial.iter().map(|r| r.ops as u64).sum::<u64>() > 1_000);
     }

@@ -7,7 +7,7 @@ use rmd_latency::{ClassPartition, ForbiddenMatrix};
 use rmd_loops::Loop;
 use rmd_machine::MachineDescription;
 use rmd_query::{ModuloMaskCache, WordLayout, WorkCounters};
-use rmd_sched::{mii, ImsConfig, IterativeModuloScheduler, Representation};
+use rmd_sched::{mii, ImsConfig, IterativeModuloScheduler, Representation, SchedScratch};
 use serde::Serialize;
 use std::path::Path;
 
@@ -310,6 +310,31 @@ fn mask_cache_for(machine: &MachineDescription, repr: Representation) -> Option<
     }
 }
 
+/// Cheap per-loop cost estimates driving the parallel runner's
+/// [`parallel::ClaimPlan`]: `ops × resource-pressure bound` — the
+/// dominant terms of IMS work (each attempt places about `ops`
+/// operations and the slot-search window is one II wide, with the
+/// pressure bound a lower bound on II). Dispatch metadata only: the
+/// estimate decides which loop a worker claims next, never what any
+/// loop's schedule looks like.
+pub fn loop_costs(machine: &MachineDescription, loops: &[Loop]) -> Vec<u64> {
+    let mut per_res = vec![0u64; machine.num_resources()];
+    loops
+        .iter()
+        .map(|l| {
+            per_res.iter_mut().for_each(|c| *c = 0);
+            for n in l.graph.nodes() {
+                let t = machine.operation(l.graph.op(n)).table();
+                for u in t.usages() {
+                    per_res[u.resource.index()] += 1;
+                }
+            }
+            let pressure = per_res.iter().copied().max().unwrap_or(1).max(1);
+            (l.graph.num_nodes() as u64).saturating_mul(pressure).max(1)
+        })
+        .collect()
+}
+
 /// Schedules one loop: the worker body shared by the serial and
 /// parallel suite runners.
 fn run_one(
@@ -319,19 +344,23 @@ fn run_one(
     l: &Loop,
     repr: Representation,
     cache: Option<&mut ModuloMaskCache>,
+    scratch: &mut SchedScratch,
 ) -> LoopRun {
     let m = mii::mii(&l.graph, mii_machine);
-    let r = match cache {
-        Some(c) => ims.schedule_with_mii_cached(&l.graph, machine, repr, m, c),
-        None => ims.schedule_with_mii(&l.graph, machine, repr, m),
+    let mut r = match cache {
+        Some(c) => ims.schedule_with_mii_cached_scratch(&l.graph, machine, repr, m, c, scratch),
+        None => ims.schedule_with_mii_scratch(&l.graph, machine, repr, m, scratch),
     }
     .unwrap_or_else(|e| panic!("{}: {e}", l.name));
+    // `times`/`per_attempt_ratio` are retained in the record; the ops
+    // vector is not, so hand its capacity back to the scratch.
+    scratch.recycle_ops(std::mem::take(&mut r.chosen));
     LoopRun {
         ops: l.graph.num_nodes(),
         ii: r.ii,
         mii: r.mii,
-        times: r.times,
-        per_attempt_ratio: r.per_attempt_ratio,
+        times: std::mem::take(&mut r.times),
+        per_attempt_ratio: std::mem::take(&mut r.per_attempt_ratio),
         reversed_by_resource: r.reversed_by_resource,
         reversed_by_dependence: r.reversed_by_dependence,
         counters: r.counters,
@@ -374,21 +403,26 @@ pub fn run_suite_runs_with(
 ) -> Vec<LoopRun> {
     let ims = IterativeModuloScheduler::new(config);
     let mut cache = mask_cache_for(machine, repr);
+    let mut scratch = SchedScratch::new();
     loops
         .iter()
-        .map(|l| run_one(&ims, machine, mii_machine, l, repr, cache.as_mut()))
+        .map(|l| run_one(&ims, machine, mii_machine, l, repr, cache.as_mut(), &mut scratch))
         .collect()
 }
 
 /// Schedules every loop of `loops` across up to `threads` worker
-/// threads with work-stealing (see [`parallel::run_indexed_with`]).
+/// threads with cost-sharded work-stealing (see
+/// [`parallel::run_indexed_costed`]): loops are claimed in descending
+/// [`loop_costs`] order so the expensive ones start first, cheap loops
+/// are claimed in batches, and the worker count is capped at the host's
+/// available parallelism.
 ///
 /// Results are identical to [`run_suite_runs`] and come back in suite
 /// order: each loop is scheduled independently by a deterministic
-/// scheduler, each worker owns a private [`ModuloMaskCache`] (sharing
-/// is only of immutable compiled masks, never of reservation state),
-/// and merging is positional. Only wall-clock time depends on the
-/// thread count.
+/// scheduler, each worker owns a private [`ModuloMaskCache`] +
+/// [`SchedScratch`] pair (sharing is only of immutable compiled masks,
+/// never of reservation or scratch state), and merging is positional.
+/// Only wall-clock time depends on the thread count.
 pub fn run_suite_runs_parallel(
     machine: &MachineDescription,
     mii_machine: &MachineDescription,
@@ -401,11 +435,15 @@ pub fn run_suite_runs_parallel(
         budget_ratio,
         ..ImsConfig::default()
     });
-    parallel::run_indexed_with(
+    let costs = loop_costs(machine, loops);
+    parallel::run_indexed_costed(
         loops.len(),
         threads,
-        || mask_cache_for(machine, repr),
-        |cache, i| run_one(&ims, machine, mii_machine, &loops[i], repr, cache.as_mut()),
+        &costs,
+        || (mask_cache_for(machine, repr), SchedScratch::new()),
+        |(cache, scratch), i| {
+            run_one(&ims, machine, mii_machine, &loops[i], repr, cache.as_mut(), scratch)
+        },
     )
 }
 

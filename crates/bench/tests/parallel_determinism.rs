@@ -1,6 +1,7 @@
 //! The parallel suite runner must be a pure wall-clock optimization:
-//! at 1, 2, and 8 threads it yields byte-identical per-loop results,
-//! aggregate statistics, and reduction reports as the serial path.
+//! at 1, 2, 4, and 8 threads it yields byte-identical per-loop
+//! results, aggregate statistics, and reduction reports as the serial
+//! path — cost-sharded claiming and per-worker scratch reuse included.
 
 use rmd_bench::{
     aggregate, reduction_report, reduction_reports_parallel, run_suite_runs,
@@ -10,7 +11,7 @@ use rmd_machine::models::{cydra5_subset, example_machine, mips_r3000};
 use rmd_query::WordLayout;
 use rmd_sched::Representation;
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 #[test]
 fn suite_results_identical_across_thread_counts() {

@@ -1660,6 +1660,13 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                         s.speedup,
                         s.schedules_identical
                     );
+                    for e in &s.speedup_by_threads {
+                        let _ = writeln!(
+                            out,
+                            "    @{} threads: {:.0} ms (speedup {:.2}, identical: {})",
+                            e.threads, e.parallel_wall_ms, e.speedup, e.schedules_identical
+                        );
+                    }
                 }
                 if let Some(s) = &rec.stress {
                     let _ = writeln!(
@@ -1673,6 +1680,13 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                         s.speedup,
                         s.schedules_identical
                     );
+                    for e in &s.speedup_by_threads {
+                        let _ = writeln!(
+                            out,
+                            "    @{} threads: {:.0} ms (speedup {:.2}, identical: {})",
+                            e.threads, e.parallel_wall_ms, e.speedup, e.schedules_identical
+                        );
+                    }
                 }
                 if let Some(s) = &rec.serve {
                     let _ = writeln!(
@@ -2849,10 +2863,11 @@ mod bench_tests {
         let path = dir.join("BENCH_fig1.json");
         let body = std::fs::read_to_string(&path).expect("record written");
         assert!(rmd_bench::benchcmd::json_is_well_formed(&body), "{body}");
-        assert!(body.contains("\"schema\": \"rmd-bench/5\""), "{body}");
+        assert!(body.contains("\"schema\": \"rmd-bench/6\""), "{body}");
         assert!(body.contains("\"machine\": \"fig1\""), "{body}");
         assert!(body.contains("\"phases\""), "{body}");
         assert!(body.contains("\"query_window\""), "{body}");
+        assert!(body.contains("\"host_parallelism\""), "{body}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -2928,12 +2943,12 @@ mod bench_tests {
         let bad = dir.join("bad.json");
         std::fs::write(
             &old,
-            r#"{"schema":"rmd-bench/5","machine":"fig1","query":{"queries_per_sec":1000.0}}"#,
+            r#"{"schema":"rmd-bench/6","machine":"fig1","query":{"queries_per_sec":1000.0}}"#,
         )
         .unwrap();
         std::fs::write(
             &bad,
-            r#"{"schema":"rmd-bench/5","machine":"fig1","query":{"queries_per_sec":1.0}}"#,
+            r#"{"schema":"rmd-bench/6","machine":"fig1","query":{"queries_per_sec":1.0}}"#,
         )
         .unwrap();
         // Identical records compare clean and print the delta report.

@@ -150,8 +150,20 @@ impl ContentionQuery for ModuloDiscreteModule {
     }
 
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
-        let mut units = 0;
         let mut evicted = Vec::new();
+        self.assign_free_into(inst, op, cycle, &mut evicted);
+        evicted
+    }
+
+    fn assign_free_into(
+        &mut self,
+        inst: OpInstance,
+        op: OpId,
+        cycle: u32,
+        evicted: &mut Vec<OpInstance>,
+    ) {
+        evicted.clear();
+        let mut units = 0;
         for ui in 0..self.compiled.of(op).len() {
             let (r, c) = self.compiled.of(op)[ui];
             units += 1;
@@ -174,7 +186,6 @@ impl ContentionQuery for ModuloDiscreteModule {
         }
         self.counters.record(QueryFn::AssignFree, units);
         self.registry.insert(inst, op, cycle);
-        evicted
     }
 
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
@@ -226,7 +237,11 @@ pub struct ModuloBitvecModule {
     /// through a [`ModuloMaskCache`].
     masks: Arc<ModuloMasks>,
     fits: Arc<[bool]>,
-    owner: Option<Vec<Option<OpInstance>>>,
+    /// Owner table, only meaningful while `in_update` — kept allocated
+    /// across [`refit`](Self::refit) so a later transition re-sizes
+    /// within existing capacity instead of reallocating.
+    owner: Vec<Option<OpInstance>>,
+    in_update: bool,
     registry: Registry,
     counters: WorkCounters,
 }
@@ -263,10 +278,35 @@ impl ModuloBitvecModule {
             words: vec![0; nwords],
             masks,
             fits,
-            owner: None,
+            owner: Vec::new(),
+            in_update: false,
             registry: Registry::new(),
             counters: WorkCounters::new(),
         }
+    }
+
+    /// Re-targets this module at a (possibly different) initiation
+    /// interval, reusing every buffer the previous schedule already
+    /// sized: the packed word vector, the owner table's capacity, and
+    /// the registry's hash capacity. The compiled usages and word
+    /// layout are unchanged — callers go through
+    /// [`ModuloMaskCache::module_reusing`], which guards both.
+    ///
+    /// Steady state (an II already seen by this module) performs no
+    /// heap allocation; behavior is byte-identical to a fresh
+    /// [`from_parts`](Self::from_parts) module.
+    pub(crate) fn refit(&mut self, masks: Arc<ModuloMasks>, fits: Arc<[bool]>) {
+        let ii = masks.ii();
+        let nwords = (ii as usize).div_ceil(self.layout.k as usize);
+        self.ii = ii;
+        self.masks = masks;
+        self.fits = fits;
+        self.words.clear();
+        self.words.resize(nwords, 0);
+        self.owner.clear();
+        self.in_update = false;
+        self.registry.clear();
+        self.counters.reset();
     }
 
     /// The initiation interval.
@@ -276,7 +316,7 @@ impl ModuloBitvecModule {
 
     /// Whether the module has transitioned to update mode.
     pub fn in_update_mode(&self) -> bool {
-        self.owner.is_some()
+        self.in_update
     }
 
     /// Whether `op` is placeable at all under this II (see
@@ -288,18 +328,19 @@ impl ModuloBitvecModule {
     fn transition_to_update(&mut self) {
         let nr = self.usages.num_resources;
         let ii = self.ii as u64;
-        let mut owner = vec![None; self.ii as usize * nr];
+        self.owner.clear();
+        self.owner.resize(self.ii as usize * nr, None);
         let mut scanned = 0u64;
         for (inst, op, cycle) in self.registry.iter() {
             for &(r, c) in self.usages.of(op) {
                 scanned += 1;
                 let s = ((cycle as u64 + c as u64) % ii) as usize * nr + r as usize;
-                owner[s] = Some(inst);
+                self.owner[s] = Some(inst);
             }
         }
         self.counters.charge_units(QueryFn::AssignFree, scanned);
         self.counters.record_transition();
-        self.owner = Some(owner);
+        self.in_update = true;
     }
 
     #[inline]
@@ -389,21 +430,34 @@ impl ContentionQuery for ModuloBitvecModule {
         }
         self.counters
             .record(QueryFn::Assign, self.masks.of(op, slot).len() as u64);
-        if let Some(owner) = &mut self.owner {
+        if self.in_update {
             let nr = self.usages.num_resources;
             for &(r, c) in self.usages.of(op) {
                 let s = ((cycle as u64 + c as u64) % self.ii as u64) as usize * nr + r as usize;
-                owner[s] = Some(inst);
+                self.owner[s] = Some(inst);
             }
         }
         self.registry.insert(inst, op, cycle);
     }
 
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance> {
+        let mut evicted = Vec::new();
+        self.assign_free_into(inst, op, cycle, &mut evicted);
+        evicted
+    }
+
+    fn assign_free_into(
+        &mut self,
+        inst: OpInstance,
+        op: OpId,
+        cycle: u32,
+        evicted: &mut Vec<OpInstance>,
+    ) {
+        evicted.clear();
         let slot = cycle % self.ii;
         let mut units = 0;
 
-        if self.owner.is_none() {
+        if !self.in_update {
             let mut conflict = false;
             for &(w, m) in self.masks.of(op, slot) {
                 units += 1;
@@ -420,7 +474,7 @@ impl ContentionQuery for ModuloBitvecModule {
                 }
                 self.counters.record(QueryFn::AssignFree, units);
                 self.registry.insert(inst, op, cycle);
-                return Vec::new();
+                return;
             }
             // The rebuild scan is charged to assign&free inside the call.
             self.transition_to_update();
@@ -428,13 +482,11 @@ impl ContentionQuery for ModuloBitvecModule {
 
         let nr = self.usages.num_resources;
         let ii = self.ii as u64;
-        let mut evicted = Vec::new();
         for ui in 0..self.usages.of(op).len() {
             let (r, c) = self.usages.of(op)[ui];
             units += 1;
             let s = ((cycle as u64 + c as u64) % ii) as usize * nr + r as usize;
-            let holder = self.owner.as_ref().expect("update mode")[s];
-            if let Some(holder) = holder {
+            if let Some(holder) = self.owner[s] {
                 if holder != inst {
                     let (hop, hcycle) = self
                         .registry
@@ -444,20 +496,19 @@ impl ContentionQuery for ModuloBitvecModule {
                         let (hr, hc) = self.usages.of(hop)[hj];
                         units += 1;
                         let hs = ((hcycle as u64 + hc as u64) % ii) as usize * nr + hr as usize;
-                        self.owner.as_mut().expect("update mode")[hs] = None;
+                        self.owner[hs] = None;
                         let (w, m) = self.flag_pos(hr, hcycle, hc);
                         self.words[w] &= !m;
                     }
                     evicted.push(holder);
                 }
             }
-            self.owner.as_mut().expect("update mode")[s] = Some(inst);
+            self.owner[s] = Some(inst);
             let (w, m) = self.flag_pos(r, cycle, c);
             self.words[w] |= m;
         }
         self.counters.record(QueryFn::AssignFree, units);
         self.registry.insert(inst, op, cycle);
-        evicted
     }
 
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32) {
@@ -470,11 +521,11 @@ impl ContentionQuery for ModuloBitvecModule {
         }
         self.counters
             .record(QueryFn::Free, self.masks.of(op, slot).len() as u64);
-        if let Some(owner) = &mut self.owner {
+        if self.in_update {
             let nr = self.usages.num_resources;
             for &(r, c) in self.usages.of(op) {
                 let s = ((cycle as u64 + c as u64) % self.ii as u64) as usize * nr + r as usize;
-                owner[s] = None;
+                self.owner[s] = None;
             }
         }
     }
@@ -503,7 +554,8 @@ impl ContentionQuery for ModuloBitvecModule {
 
     fn reset(&mut self) {
         self.words.fill(0);
-        self.owner = None;
+        self.owner.clear();
+        self.in_update = false;
         self.registry.clear();
         self.counters.reset();
     }
@@ -649,9 +701,54 @@ impl ModuloMaskCache {
     /// Panics if `ii == 0`.
     pub fn module(&mut self, ii: u32) -> ModuloBitvecModule {
         assert!(ii > 0, "initiation interval must be positive");
+        let (masks, fits) = self.parts(ii);
+        ModuloBitvecModule::from_parts(Arc::clone(&self.usages), masks, fits, self.layout)
+    }
+
+    /// Like [`module`](Self::module), but re-targets the module already
+    /// held in `slot` instead of constructing a fresh one, reusing its
+    /// word/owner/registry buffers. An empty `slot` (or one holding a
+    /// module built against a different machine or layout) is filled
+    /// with a fresh module; a warm `slot` whose previous schedule
+    /// already sized the buffers for this II performs **no heap
+    /// allocation** when the II expansion is cached. Behavior of the
+    /// returned module is byte-identical to [`module`](Self::module),
+    /// counters included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn module_reusing<'a>(
+        &mut self,
+        ii: u32,
+        slot: &'a mut Option<ModuloBitvecModule>,
+    ) -> &'a mut ModuloBitvecModule {
+        assert!(ii > 0, "initiation interval must be positive");
+        let (masks, fits) = self.parts(ii);
+        match slot {
+            Some(module)
+                if Arc::ptr_eq(&module.usages, &self.usages) && module.layout == self.layout =>
+            {
+                module.refit(masks, fits);
+            }
+            _ => {
+                *slot = Some(ModuloBitvecModule::from_parts(
+                    Arc::clone(&self.usages),
+                    masks,
+                    fits,
+                    self.layout,
+                ));
+            }
+        }
+        slot.as_mut().expect("slot was just filled")
+    }
+
+    /// The `(masks, fits)` expansion for `ii`, served from cache or
+    /// built, memoized, and LRU-accounted.
+    fn parts(&mut self, ii: u32) -> (Arc<ModuloMasks>, Arc<[bool]>) {
         self.tick += 1;
         let tick = self.tick;
-        let (masks, fits) = if let Some(entry) = self.by_ii.get_mut(&ii) {
+        if let Some(entry) = self.by_ii.get_mut(&ii) {
             self.hits += 1;
             entry.last_use = tick;
             (Arc::clone(&entry.masks), Arc::clone(&entry.fits))
@@ -673,8 +770,7 @@ impl ModuloMaskCache {
                 },
             );
             (masks, fits)
-        };
-        ModuloBitvecModule::from_parts(Arc::clone(&self.usages), masks, fits, self.layout)
+        }
     }
 
     /// The word layout modules from this cache use.
@@ -931,6 +1027,65 @@ mod tests {
         let mut reg = rmd_obs::MetricRegistry::new();
         cache.export_to(&mut reg, "mask_cache");
         assert!(reg.counter("mask_cache.evictions") >= 4);
+    }
+
+    #[test]
+    fn module_reusing_matches_fresh_modules() {
+        let (m, a, b) = ops();
+        let mut cache = ModuloMaskCache::new(&m, WordLayout::with_k(64, 2));
+        let mut slot = None;
+        for ii in [4u32, 5, 8, 5, 4] {
+            let mut fresh = ModuloBitvecModule::new(&m, ii, WordLayout::with_k(64, 2));
+            let reused = cache.module_reusing(ii, &mut slot);
+            let placeable = fresh.check(b, 2);
+            assert_eq!(placeable, reused.check(b, 2), "ii={ii} gate");
+            if placeable {
+                fresh.assign(OpInstance(0), b, 2);
+                reused.assign(OpInstance(0), b, 2);
+                // Drive the transition/eviction path on both.
+                let mut e1 = Vec::new();
+                let mut e2 = vec![OpInstance(99)]; // stale content must be cleared
+                fresh.assign_free_into(OpInstance(1), b, 3, &mut e1);
+                reused.assign_free_into(OpInstance(1), b, 3, &mut e2);
+                assert_eq!(e1, e2, "ii={ii} evictions");
+            }
+            for t in 0..(2 * ii) {
+                assert_eq!(fresh.check(a, t), reused.check(a, t), "ii={ii} a@{t}");
+                assert_eq!(fresh.check(b, t), reused.check(b, t), "ii={ii} b@{t}");
+            }
+            assert_eq!(fresh.counters(), reused.counters(), "ii={ii}");
+            assert_eq!(fresh.in_update_mode(), reused.in_update_mode(), "ii={ii}");
+        }
+    }
+
+    #[test]
+    fn module_reusing_replaces_foreign_slots() {
+        // A slot holding a module built against different compiled
+        // parts (another cache) is replaced with a fresh module, never
+        // refitted onto mismatched usages.
+        let (m, _, b) = ops();
+        let mut c1 = ModuloMaskCache::new(&m, WordLayout::with_k(64, 2));
+        let mut c2 = ModuloMaskCache::new(&m, WordLayout::with_k(64, 4));
+        let mut slot = None;
+        c1.module_reusing(8, &mut slot).assign(OpInstance(0), b, 0);
+        let q = c2.module_reusing(8, &mut slot);
+        assert_eq!(q.num_scheduled(), 0, "foreign module was replaced");
+        assert!(q.check(b, 0));
+    }
+
+    #[test]
+    fn assign_free_into_matches_assign_free() {
+        let (m, _, b) = ops();
+        let mut q1 = ModuloDiscreteModule::new(&m, 8);
+        let mut q2 = ModuloDiscreteModule::new(&m, 8);
+        for (inst, cyc) in [(0u32, 0u32), (1, 4), (2, 2)] {
+            let e1 = q1.assign_free(OpInstance(inst), b, cyc);
+            let mut e2 = vec![OpInstance(99)];
+            q2.assign_free_into(OpInstance(inst), b, cyc, &mut e2);
+            assert_eq!(e1, e2, "inst={inst} cycle={cyc}");
+        }
+        assert_eq!(q1.counters(), q2.counters());
+        assert_eq!(q1.num_scheduled(), q2.num_scheduled());
     }
 
     #[test]

@@ -31,6 +31,25 @@ pub trait ContentionQuery {
     /// the evicted instances (possibly empty).
     fn assign_free(&mut self, inst: OpInstance, op: OpId, cycle: u32) -> Vec<OpInstance>;
 
+    /// [`assign_free`](Self::assign_free) writing the evicted instances
+    /// into a caller-owned buffer (cleared first) instead of returning a
+    /// fresh `Vec` — the allocation-free form schedulers with reusable
+    /// scratch use. The provided implementation delegates to
+    /// [`assign_free`](Self::assign_free); the modulo modules override
+    /// it to write eviction victims directly into `evicted`, so a
+    /// steady-state scheduler allocates nothing here. Semantics and
+    /// work accounting are identical to `assign_free`.
+    fn assign_free_into(
+        &mut self,
+        inst: OpInstance,
+        op: OpId,
+        cycle: u32,
+        evicted: &mut Vec<OpInstance>,
+    ) {
+        evicted.clear();
+        evicted.extend(self.assign_free(inst, op, cycle));
+    }
+
     /// Releases the resources of `inst` (which must be `op` at `cycle`).
     fn free(&mut self, inst: OpInstance, op: OpId, cycle: u32);
 

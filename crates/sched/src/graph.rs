@@ -61,12 +61,25 @@ pub struct Edge {
 ///
 /// Node ids are dense and double as the scheduler's
 /// [`OpInstance`](rmd_query::OpInstance) ids.
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DepGraph {
     ops: Vec<OpId>,
     edges: Vec<Edge>,
+    /// Adjacency arenas. May be longer than `ops` after
+    /// [`clear`](Self::clear) — only the first `ops.len()` entries are
+    /// live; [`add_node`](Self::add_node) re-clears slots lazily so
+    /// their capacity is reused.
     succs: Vec<Vec<u32>>,
     preds: Vec<Vec<u32>>,
+}
+
+/// Equality is over the graph's content (nodes and edges); the
+/// adjacency arenas are derived data and may hold extra retained
+/// capacity after [`DepGraph::clear`].
+impl PartialEq for DepGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops && self.edges == other.edges
+    }
 }
 
 impl DepGraph {
@@ -75,12 +88,30 @@ impl DepGraph {
         Self::default()
     }
 
+    /// Empties the graph while retaining every allocation — the node
+    /// and edge vectors and the per-node adjacency arenas keep their
+    /// capacity, so a long-running caller (the serve daemon rebuilds a
+    /// graph per request) can reuse one `DepGraph` without churning
+    /// the allocator. A cleared-and-refilled graph is indistinguishable
+    /// from a freshly built one.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.edges.clear();
+        // succs/preds entries are re-cleared lazily in add_node.
+    }
+
     /// Adds a node executing operation `op`; returns its id.
     pub fn add_node(&mut self, op: OpId) -> NodeId {
+        let i = self.ops.len();
         self.ops.push(op);
-        self.succs.push(Vec::new());
-        self.preds.push(Vec::new());
-        NodeId((self.ops.len() - 1) as u32)
+        if i < self.succs.len() {
+            self.succs[i].clear();
+            self.preds[i].clear();
+        } else {
+            self.succs.push(Vec::new());
+            self.preds.push(Vec::new());
+        }
+        NodeId(i as u32)
     }
 
     /// Adds a dependence edge.
@@ -194,6 +225,33 @@ mod tests {
         assert_eq!(g.succ_edges(a).count(), 1);
         assert_eq!(g.pred_edges(a).count(), 1);
         assert_eq!(g.op(c), op(0));
+        assert!(g.has_recurrence());
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_behaves_like_fresh() {
+        let mut g = DepGraph::new();
+        let a = g.add_node(op(0));
+        let b = g.add_node(op(1));
+        let c = g.add_node(op(2));
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        g.add_edge(b, c, 1, 0, DepKind::Flow);
+        g.clear();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        // Refill with a *smaller* graph: stale adjacency beyond the new
+        // node count must not leak into queries or equality.
+        let a = g.add_node(op(5));
+        let b = g.add_node(op(6));
+        g.add_edge(b, a, 3, 1, DepKind::Anti);
+        let mut fresh = DepGraph::new();
+        let fa = fresh.add_node(op(5));
+        let fb = fresh.add_node(op(6));
+        fresh.add_edge(fb, fa, 3, 1, DepKind::Anti);
+        assert_eq!(g, fresh);
+        assert_eq!(g.succ_edges(b).count(), 1);
+        assert_eq!(g.pred_edges(a).count(), 1);
+        assert_eq!(g.succ_edges(a).count(), 0, "stale adjacency cleared");
         assert!(g.has_recurrence());
     }
 

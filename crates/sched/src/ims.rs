@@ -3,6 +3,7 @@
 
 use crate::graph::{DepGraph, NodeId};
 use crate::mii;
+use crate::scratch::SchedScratch;
 use core::fmt;
 use rmd_machine::alternatives::AltGroups;
 use rmd_machine::{MachineDescription, OpId};
@@ -10,7 +11,6 @@ use rmd_query::{
     ContentionQuery, ModuloBitvecModule, ModuloDiscreteModule, ModuloMaskCache, OpInstance,
     WordLayout, WorkCounters,
 };
-use std::collections::BinaryHeap;
 
 /// Which internal representation the contention query module uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -168,7 +168,28 @@ impl IterativeModuloScheduler {
         repr: Representation,
         mii: u32,
     ) -> Result<ImsResult, ImsError> {
-        self.schedule_inner(g, machine, repr, mii, None, None)
+        let mut scratch = SchedScratch::new();
+        self.schedule_inner(g, machine, repr, mii, None, None, &mut scratch)
+    }
+
+    /// Like [`schedule_with_mii`](Self::schedule_with_mii), drawing the
+    /// per-attempt working buffers from a caller-owned
+    /// [`SchedScratch`] so back-to-back schedules reuse allocations.
+    /// Results are byte-identical to the scratch-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImsError::NoFeasibleIi`] as for
+    /// [`schedule`](Self::schedule).
+    pub fn schedule_with_mii_scratch(
+        &self,
+        g: &DepGraph,
+        machine: &MachineDescription,
+        repr: Representation,
+        mii: u32,
+        scratch: &mut SchedScratch,
+    ) -> Result<ImsResult, ImsError> {
+        self.schedule_inner(g, machine, repr, mii, None, None, scratch)
     }
 
     /// Like [`schedule_with_mii`](Self::schedule_with_mii), drawing
@@ -202,6 +223,37 @@ impl IterativeModuloScheduler {
         mii: u32,
         cache: &mut ModuloMaskCache,
     ) -> Result<ImsResult, ImsError> {
+        let mut scratch = SchedScratch::new();
+        self.schedule_with_mii_cached_scratch(g, machine, repr, mii, cache, &mut scratch)
+    }
+
+    /// The cached path with caller-owned scratch — the steady-state
+    /// entry point of the suite runners and the serve daemon: mask
+    /// expansions come from `cache`, working buffers and the
+    /// reservation-table module itself from `scratch`. A warm
+    /// scratch/cache pair schedules a previously seen loop shape with
+    /// zero heap allocations; results are byte-identical to
+    /// [`schedule_with_mii`](Self::schedule_with_mii), counters
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImsError::NoFeasibleIi`] as for
+    /// [`schedule`](Self::schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repr` is a bitvector layout different from the
+    /// cache's.
+    pub fn schedule_with_mii_cached_scratch(
+        &self,
+        g: &DepGraph,
+        machine: &MachineDescription,
+        repr: Representation,
+        mii: u32,
+        cache: &mut ModuloMaskCache,
+        scratch: &mut SchedScratch,
+    ) -> Result<ImsResult, ImsError> {
         if let Representation::Bitvec(layout) = repr {
             assert_eq!(
                 layout,
@@ -209,7 +261,7 @@ impl IterativeModuloScheduler {
                 "mask cache was built for a different word layout"
             );
         }
-        self.schedule_inner(g, machine, repr, mii, None, Some(cache))
+        self.schedule_inner(g, machine, repr, mii, None, Some(cache), scratch)
     }
 
     /// Like [`schedule_with_mii`](Self::schedule_with_mii), additionally
@@ -232,9 +284,11 @@ impl IterativeModuloScheduler {
         repr: Representation,
         mii: u32,
     ) -> Result<ImsResult, ImsError> {
-        self.schedule_inner(g, machine, repr, mii, Some(groups), None)
+        let mut scratch = SchedScratch::new();
+        self.schedule_inner(g, machine, repr, mii, Some(groups), None, &mut scratch)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn schedule_inner(
         &self,
         g: &DepGraph,
@@ -243,6 +297,7 @@ impl IterativeModuloScheduler {
         mii: u32,
         groups: Option<&AltGroups>,
         mut cache: Option<&mut ModuloMaskCache>,
+        scratch: &mut SchedScratch,
     ) -> Result<ImsResult, ImsError> {
         let n = g.num_nodes();
         let budget_total = ((self.config.budget_ratio * n as f64).ceil() as u64).max(1);
@@ -251,7 +306,7 @@ impl IterativeModuloScheduler {
         let mut decisions_total = 0u64;
         let mut reversed_by_resource = 0u64;
         let mut reversed_by_dependence = 0u64;
-        let mut per_attempt_ratio = Vec::new();
+        let mut per_attempt_ratio = scratch.take_ratios();
         let mut attempts = 0u32;
 
         // A caller-supplied MII of 0 is meaningless (an II is at least 1
@@ -261,15 +316,34 @@ impl IterativeModuloScheduler {
         while ii <= self.config.max_ii {
             attempts += 1;
             let span = rmd_obs::span_with("sched", "attempt", "ii", u64::from(ii));
-            let mut module: Box<dyn ContentionQuery> = match repr {
-                Representation::Discrete => Box::new(ModuloDiscreteModule::new(machine, ii)),
+            // Per-attempt reservation table. The cached bitvector path
+            // refits the module held in the scratch in place (no boxing,
+            // no per-attempt construction); the other paths build a
+            // fresh module as before.
+            let outcome = match repr {
+                Representation::Discrete => {
+                    let mut module = ModuloDiscreteModule::new(machine, ii);
+                    let o = self.attempt(g, ii, budget_total, &mut module, groups, scratch);
+                    counters.merge(module.counters());
+                    o
+                }
                 Representation::Bitvec(layout) => match cache.as_deref_mut() {
-                    Some(c) => Box::new(c.module(ii)),
-                    None => Box::new(ModuloBitvecModule::new(machine, ii, layout)),
+                    Some(c) => {
+                        let mut slot = scratch.module.take();
+                        let module = c.module_reusing(ii, &mut slot);
+                        let o = self.attempt(g, ii, budget_total, module, groups, scratch);
+                        counters.merge(module.counters());
+                        scratch.module = slot;
+                        o
+                    }
+                    None => {
+                        let mut module = ModuloBitvecModule::new(machine, ii, layout);
+                        let o = self.attempt(g, ii, budget_total, &mut module, groups, scratch);
+                        counters.merge(module.counters());
+                        o
+                    }
                 },
             };
-            let outcome = self.attempt(g, ii, budget_total, module.as_mut(), groups);
-            counters.merge(module.counters());
             decisions_total += outcome.decisions;
             reversed_by_resource += outcome.reversed_by_resource;
             reversed_by_dependence += outcome.reversed_by_dependence;
@@ -314,26 +388,35 @@ impl IterativeModuloScheduler {
         budget: u64,
         module: &mut dyn ContentionQuery,
         groups: Option<&AltGroups>,
+        s: &mut SchedScratch,
     ) -> AttemptOutcome {
         let n = g.num_nodes();
-        let height = heights(g, ii);
-        let mut time: Vec<Option<u32>> = vec![None; n];
-        let mut chosen: Vec<OpId> = g.nodes().map(|v| g.op(v)).collect();
-        let mut prev_time: Vec<Option<u32>> = vec![None; n];
-        // Max-heap on (height, reverse node id) for determinism.
-        let mut queue: BinaryHeap<(i64, core::cmp::Reverse<u32>)> = g
-            .nodes()
-            .map(|v| (height[v.index()], core::cmp::Reverse(v.0)))
-            .collect();
-        let mut queued = vec![true; n];
+        heights_into(g, ii, &mut s.height);
+        s.time.clear();
+        s.time.resize(n, None);
+        s.prev_time.clear();
+        s.prev_time.resize(n, None);
+        s.node_ops.clear();
+        s.node_ops.extend(g.nodes().map(|v| g.op(v)));
+        // Max-heap on (height, reverse node id) for determinism: unique
+        // keys make the pop order independent of insertion order, so
+        // reusing the heap's buffer cannot change the schedule.
+        s.queue.clear();
+        {
+            let height = &s.height;
+            s.queue
+                .extend(g.nodes().map(|v| (height[v.index()], core::cmp::Reverse(v.0))));
+        }
+        s.queued.clear();
+        s.queued.resize(n, true);
 
         let mut decisions = 0u64;
         let mut reversed_by_resource = 0u64;
         let mut reversed_by_dependence = 0u64;
 
-        while let Some((_, core::cmp::Reverse(vid))) = queue.pop() {
+        while let Some((_, core::cmp::Reverse(vid))) = s.queue.pop() {
             let v = NodeId(vid);
-            if !queued[v.index()] {
+            if !s.queued[v.index()] {
                 continue; // stale entry
             }
             if decisions >= budget {
@@ -344,12 +427,12 @@ impl IterativeModuloScheduler {
                     reversed_by_dependence,
                 };
             }
-            queued[v.index()] = false;
+            s.queued[v.index()] = false;
 
             // Earliest start from *scheduled* predecessors.
             let mut estart = 0i64;
             for e in g.pred_edges(v) {
-                if let Some(tu) = time[e.from.index()] {
+                if let Some(tu) = s.time[e.from.index()] {
                     let c = i64::from(tu) + i64::from(e.delay)
                         - i64::from(ii) * i64::from(e.distance);
                     estart = estart.max(c);
@@ -390,25 +473,25 @@ impl IterativeModuloScheduler {
             // never scheduled or estart > prev + 1; else prev + 1); the
             // base operation is forced, evicting whatever holds it.
             let (t, op) = found.unwrap_or_else(|| {
-                let t = match prev_time[v.index()] {
+                let t = match s.prev_time[v.index()] {
                     Some(prev) if min_t <= prev + 1 => prev + 1,
                     _ => min_t,
                 };
                 (t, base)
             });
-            chosen[v.index()] = op;
+            s.node_ops[v.index()] = op;
 
             decisions += 1;
-            let evicted = module.assign_free(OpInstance(v.0), op, t);
-            time[v.index()] = Some(t);
-            prev_time[v.index()] = Some(t);
-            for inst in evicted {
-                let w = NodeId(inst.0);
-                time[w.index()] = None;
+            module.assign_free_into(OpInstance(v.0), op, t, &mut s.evicted);
+            s.time[v.index()] = Some(t);
+            s.prev_time[v.index()] = Some(t);
+            for i in 0..s.evicted.len() {
+                let w = NodeId(s.evicted[i].0);
+                s.time[w.index()] = None;
                 reversed_by_resource += 1;
-                if !queued[w.index()] {
-                    queued[w.index()] = true;
-                    queue.push((height[w.index()], core::cmp::Reverse(w.0)));
+                if !s.queued[w.index()] {
+                    s.queued[w.index()] = true;
+                    s.queue.push((s.height[w.index()], core::cmp::Reverse(w.0)));
                 }
             }
 
@@ -419,16 +502,16 @@ impl IterativeModuloScheduler {
                 if w == v {
                     continue;
                 }
-                if let Some(tw) = time[w.index()] {
+                if let Some(tw) = s.time[w.index()] {
                     let lb = i64::from(t) + i64::from(e.delay)
                         - i64::from(ii) * i64::from(e.distance);
                     if i64::from(tw) < lb {
-                        module.free(OpInstance(w.0), chosen[w.index()], tw);
-                        time[w.index()] = None;
+                        module.free(OpInstance(w.0), s.node_ops[w.index()], tw);
+                        s.time[w.index()] = None;
                         reversed_by_dependence += 1;
-                        if !queued[w.index()] {
-                            queued[w.index()] = true;
-                            queue.push((height[w.index()], core::cmp::Reverse(w.0)));
+                        if !s.queued[w.index()] {
+                            s.queued[w.index()] = true;
+                            s.queue.push((s.height[w.index()], core::cmp::Reverse(w.0)));
                         }
                     }
                 }
@@ -438,10 +521,28 @@ impl IterativeModuloScheduler {
         // Queue drained: every node should have a placement. If any is
         // missing the attempt is reported as failed (next II) rather than
         // panicking — an invariant breach must not take the process down.
-        let times: Option<Vec<u32>> = time.into_iter().collect();
-        debug_assert!(times.is_some(), "queue drained with unscheduled nodes");
+        let mut times = s.take_times();
+        let mut complete = true;
+        for t in &s.time {
+            match t {
+                Some(v) => times.push(*v),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        debug_assert!(complete, "queue drained with unscheduled nodes");
+        let times = if complete {
+            let mut ops = s.take_ops();
+            ops.extend_from_slice(&s.node_ops);
+            Some((times, ops))
+        } else {
+            s.pool_times.push(times);
+            None
+        };
         AttemptOutcome {
-            times: times.map(|ts| (ts, chosen)),
+            times,
             decisions,
             reversed_by_resource,
             reversed_by_dependence,
@@ -456,12 +557,23 @@ struct AttemptOutcome {
     reversed_by_dependence: u64,
 }
 
+/// Allocating form of [`heights_into`], kept for the brute-force
+/// comparison test.
+#[cfg(test)]
+fn heights(g: &DepGraph, ii: u32) -> Vec<i64> {
+    let mut h = Vec::new();
+    heights_into(g, ii, &mut h);
+    h
+}
+
 /// Height-based priority (Rau's HeightR): the longest dependence path
 /// from each node onward under `w(e) = delay − II · distance`, computed
-/// by relaxation (no positive circuit exists for II ≥ RecMII).
-fn heights(g: &DepGraph, ii: u32) -> Vec<i64> {
+/// by relaxation (no positive circuit exists for II ≥ RecMII), written
+/// into a reusable buffer (cleared first).
+fn heights_into(g: &DepGraph, ii: u32, h: &mut Vec<i64>) {
     let n = g.num_nodes();
-    let mut h = vec![0i64; n];
+    h.clear();
+    h.resize(n, 0);
     for _ in 0..=n {
         let mut changed = false;
         for e in g.edges() {
@@ -476,7 +588,6 @@ fn heights(g: &DepGraph, ii: u32) -> Vec<i64> {
             break;
         }
     }
-    h
 }
 
 #[cfg(test)]
@@ -733,6 +844,66 @@ mod tests {
                 // window path meters every slot search through one.
                 assert_eq!(a.counters.check_window.calls, 0, "{ctx}");
                 assert!(b.counters.check_window.calls > 0, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        // One scratch carried across loops of different shapes and
+        // representations must reproduce the scratch-free path exactly:
+        // schedules, statistics, and counters.
+        let m = cydra5_subset();
+        let layout = WordLayout::widest(64, m.num_resources());
+        let mut cache = ModuloMaskCache::new(&m, layout);
+        let mut plain_cache = ModuloMaskCache::new(&m, layout);
+        let mut scratch = SchedScratch::new();
+        let ims = IterativeModuloScheduler::new(ImsConfig::default());
+
+        let fadd = m.op_by_name("fadd").expect("test setup");
+        let mut pressured = DepGraph::new();
+        for _ in 0..6 {
+            pressured.add_node(fadd); // evictions + forced placements
+        }
+        let mut recurrence = DepGraph::new();
+        let a = recurrence.add_node(fadd);
+        let b = recurrence.add_node(fadd);
+        recurrence.add_edge(a, b, 7, 0, DepKind::Flow);
+        recurrence.add_edge(b, a, 7, 1, DepKind::Flow);
+        let graphs = [
+            chain(&m, &["load.w.0", "fadd", "store.w.0"], 8),
+            pressured,
+            recurrence,
+            chain(&m, &["load.w.0", "load.w.1", "fmul", "fadd", "store.w.1"], 5),
+            chain(&m, &["load.w.0", "fadd", "store.w.0"], 8), // repeat: warm
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let mii = crate::mii::mii(g, &m);
+            for repr in [Representation::Discrete, Representation::Bitvec(layout)] {
+                let ctx = format!("graph {i}, {repr:?}");
+                let plain = ims.schedule_with_mii(g, &m, repr, mii).expect("test setup");
+                let scratched = ims
+                    .schedule_with_mii_scratch(g, &m, repr, mii, &mut scratch)
+                    .expect("test setup");
+                assert_eq!(plain.times, scratched.times, "{ctx}");
+                assert_eq!(plain.chosen, scratched.chosen, "{ctx}");
+                assert_eq!(plain.ii, scratched.ii, "{ctx}");
+                assert_eq!(plain.decisions, scratched.decisions, "{ctx}");
+                assert_eq!(plain.reversed_by_resource, scratched.reversed_by_resource, "{ctx}");
+                assert_eq!(plain.per_attempt_ratio, scratched.per_attempt_ratio, "{ctx}");
+                assert_eq!(plain.counters, scratched.counters, "{ctx}");
+                scratch.recycle(scratched);
+
+                let cached_plain = ims
+                    .schedule_with_mii_cached(g, &m, repr, mii, &mut plain_cache)
+                    .expect("test setup");
+                let cached_scratched = ims
+                    .schedule_with_mii_cached_scratch(g, &m, repr, mii, &mut cache, &mut scratch)
+                    .expect("test setup");
+                assert_eq!(cached_plain.times, cached_scratched.times, "{ctx} cached");
+                assert_eq!(cached_plain.counters, cached_scratched.counters, "{ctx} cached");
+                assert_eq!(plain.times, cached_scratched.times, "{ctx} cached-vs-plain");
+                scratch.recycle(cached_scratched);
             }
         }
     }

@@ -54,6 +54,7 @@ mod graph;
 mod ims;
 mod list;
 pub mod mii;
+mod scratch;
 mod validate;
 
 pub use graph::{DepGraph, DepKind, Edge, NodeId};
@@ -61,4 +62,5 @@ pub use ims::{
     ImsConfig, ImsError, ImsResult, IterativeModuloScheduler, Representation, SlotSearch,
 };
 pub use list::{schedule_trace, BoundaryOp, ListResult, ListScheduler, TraceResult};
+pub use scratch::SchedScratch;
 pub use validate::{validate, validate_list, ScheduleError};

@@ -22,7 +22,10 @@ use rmd_core::{reduce_with_fallback, FallbackEvent, Limits, Objective, ReduceOpt
 use rmd_machine::{mdl, models, MachineDescription};
 use rmd_obs::{Event, EventKind, MetricRegistry};
 use rmd_query::{ModuloMaskCache, WordLayout};
-use rmd_sched::{mii::mii, DepGraph, ImsConfig, ImsError, IterativeModuloScheduler, Representation};
+use rmd_sched::{
+    mii::mii, DepGraph, ImsConfig, ImsError, IterativeModuloScheduler, Representation,
+    SchedScratch,
+};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -90,13 +93,18 @@ fn certificate_vouches(dir: &std::path::Path, fp: &str) -> bool {
 const SUITE_DEADLINE_CHUNK: usize = 32;
 
 /// A cached machine: the description to schedule against plus the
-/// shared (LRU-bounded) mask cache for it.
+/// shared (LRU-bounded) mask cache and reusable scheduling scratch for
+/// it.
 struct MachineEntry {
     original: MachineDescription,
     /// The verified reduced machine, or the original after a fallback.
     sched_machine: MachineDescription,
     layout: WordLayout,
     mask_cache: ModuloMaskCache,
+    /// Scheduling buffers reused across this machine's requests: after
+    /// the first schedule of a given shape, repeat requests allocate
+    /// nothing on the scheduling path.
+    scratch: SchedScratch,
     fallback: Option<&'static str>,
     last_used: u64,
 }
@@ -138,6 +146,9 @@ pub struct ServeEngine {
     /// for quarantine when the request panics.
     touched: Option<String>,
     flight: FlightRecorder,
+    /// Dependence graph reused across `schedule` requests (node and
+    /// edge arenas keep their capacity; see [`DepGraph::clear`]).
+    graph_scratch: DepGraph,
 }
 
 impl ServeEngine {
@@ -154,6 +165,7 @@ impl ServeEngine {
             draining: false,
             touched: None,
             flight,
+            graph_scratch: DepGraph::new(),
         }
     }
 
@@ -519,6 +531,7 @@ impl ServeEngine {
             sched_machine,
             layout: sched_layout,
             mask_cache,
+            scratch: SchedScratch::new(),
             fallback,
             last_used: self.tick,
         };
@@ -589,19 +602,28 @@ impl ServeEngine {
             max_ii: max_ii.unwrap_or(defaults.max_ii),
             ..defaults
         };
+        // The request graph is built in a reused arena taken off the
+        // engine; it is put back after a successful reply. Early error
+        // returns drop it (losing only retained capacity, never
+        // correctness) — the next request just starts from a fresh one.
+        let mut g = std::mem::take(&mut self.graph_scratch);
         let entry = self.machines.get_mut(fp).expect("looked up above");
-        let g = build_graph(&entry.original, nodes, edges)?;
+        if let Err(e) = build_graph_into(&mut g, &entry.original, nodes, edges) {
+            self.graph_scratch = g;
+            return Err(e);
+        }
         deadline.check()?;
         let lower = mii(&g, &entry.original);
         let ims = IterativeModuloScheduler::new(config);
         let sched_span = rmd_obs::span_with("serve", "schedule", "req", idx);
         let r = ims
-            .schedule_with_mii_cached(
+            .schedule_with_mii_cached_scratch(
                 &g,
                 &entry.sched_machine,
                 Representation::Bitvec(entry.layout),
                 lower,
                 &mut entry.mask_cache,
+                &mut entry.scratch,
             )
             .map_err(|e| match e {
                 ImsError::NoFeasibleIi { max_ii } => {
@@ -613,14 +635,17 @@ impl ServeEngine {
             })?;
         drop(sched_span);
         deadline.check()?;
-        Ok(ReplyBuilder::ok(id, "schedule")
+        let reply = ReplyBuilder::ok(id, "schedule")
             .str("fingerprint", fp)
             .num("ii", u64::from(r.ii))
             .num("mii", u64::from(r.mii))
             .num("decisions", r.decisions)
             .num("attempts", u64::from(r.attempts))
             .nums("times", r.times.iter().map(|&t| u64::from(t)))
-            .finish())
+            .finish();
+        entry.scratch.recycle(r);
+        self.graph_scratch = g;
+        Ok(reply)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -780,14 +805,16 @@ fn splice_trace(reply: String, events: &[Event]) -> String {
     out
 }
 
-/// Builds the dependence graph of a `schedule` request, resolving node
-/// names against the submitted machine.
-fn build_graph(
+/// Builds the dependence graph of a `schedule` request into a reused
+/// arena (cleared first), resolving node names against the submitted
+/// machine.
+fn build_graph_into(
+    g: &mut DepGraph,
     machine: &MachineDescription,
     nodes: &[String],
     edges: &[EdgeSpec],
-) -> Result<DepGraph, ServeError> {
-    let mut g = DepGraph::new();
+) -> Result<(), ServeError> {
+    g.clear();
     let mut ids = Vec::with_capacity(nodes.len());
     for name in nodes {
         let op = machine
@@ -800,7 +827,7 @@ fn build_graph(
     for e in edges {
         g.add_edge(ids[e.from], ids[e.to], e.delay, e.distance, e.kind);
     }
-    Ok(g)
+    Ok(())
 }
 
 /// FNV-1a digest over every loop's achieved II and issue times — a
